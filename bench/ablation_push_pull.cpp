@@ -1,0 +1,37 @@
+// Ablation: direction of information exchange (paper section 4.4 cites
+// Demers et al. on why this matters). The paper's protocol is pull; this
+// bench quantifies what push and push-pull would have cost: pushing
+// without knowing the partner's losses ships duplicates, which shows up
+// directly in the goodput column.
+#include <cstdio>
+
+#include "figure_common.h"
+
+int main() {
+  using namespace ag;
+  const std::uint32_t seeds = harness::seeds_from_env(2);
+
+  std::printf("== Ablation: push vs pull gossip (range 55 m, 0.2 m/s) ==\n");
+  std::printf("%-10s | %10s %6s %6s | %9s | %s\n", "mode", "avg", "min", "max",
+              "goodput%", "tx/run");
+  struct Mode {
+    const char* name;
+    gossip::ExchangeMode mode;
+  };
+  for (const Mode& m : {Mode{"pull", gossip::ExchangeMode::pull},
+                        Mode{"push", gossip::ExchangeMode::push},
+                        Mode{"push_pull", gossip::ExchangeMode::push_pull}}) {
+    harness::ScenarioConfig c = bench::paper_base();
+    c.with_range(55.0).with_max_speed(0.2);
+    c.with_protocol(harness::Protocol::maodv_gossip);
+    c.gossip.exchange_mode = m.mode;
+    harness::SeriesPoint pt = harness::run_point(c, seeds, 0.0);
+    std::printf("%-10s | %10.1f %6.0f %6.0f | %9.2f | %llu\n", m.name,
+                pt.received.mean, pt.received.min, pt.received.max,
+                pt.mean_goodput_pct,
+                static_cast<unsigned long long>(pt.mean_transmissions));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

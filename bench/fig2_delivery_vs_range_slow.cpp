@@ -1,0 +1,17 @@
+// Figure 2: packet delivery vs transmission range (45–85 m), 40 nodes,
+// max speed 0.2 m/s. Expected shape: both protocols improve with range;
+// Gossip dominates MAODV with far tighter min–max spread.
+#include "figure_common.h"
+
+int main() {
+  using namespace ag;
+  const std::uint32_t seeds = harness::seeds_from_env(3);
+  bench::run_two_series_figure(
+      "Figure 2: Packet Delivery vs Transmission Range (speed 0.2 m/s)",
+      "range(m)", "fig2.csv", {45, 50, 55, 60, 65, 70, 75, 80, 85},
+      [](harness::ScenarioConfig& c, double x) {
+        c.with_range(x).with_max_speed(0.2);
+      },
+      seeds);
+  return 0;
+}

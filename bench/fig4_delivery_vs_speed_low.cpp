@@ -1,0 +1,17 @@
+// Figure 4: packet delivery vs maximum speed (0.1–1.0 m/s), range 75 m,
+// 40 nodes. Expected: Gossip near-perfect (~100 % below 0.3 m/s per the
+// paper), MAODV lower with wide error bars.
+#include "figure_common.h"
+
+int main() {
+  using namespace ag;
+  const std::uint32_t seeds = harness::seeds_from_env(3);
+  bench::run_two_series_figure(
+      "Figure 4: Packet Delivery vs Maximum Speed (low range: 0.1-1 m/s)",
+      "speed(m/s)", "fig4.csv", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+      [](harness::ScenarioConfig& c, double x) {
+        c.with_range(75.0).with_max_speed(x);
+      },
+      seeds);
+  return 0;
+}

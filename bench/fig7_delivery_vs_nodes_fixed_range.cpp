@@ -1,0 +1,18 @@
+// Figure 7: packet delivery vs number of nodes (40–100) at a fixed 55 m
+// range, max speed 0.2 m/s. Expected: delivery first improves with
+// density (better connectivity), then congestion takes a toll — the
+// paper's rise-then-flatten shape.
+#include "figure_common.h"
+
+int main() {
+  using namespace ag;
+  const std::uint32_t seeds = harness::seeds_from_env(2);
+  bench::run_two_series_figure(
+      "Figure 7: Packet Delivery vs Number of Nodes (fixed 55 m range)",
+      "#nodes", "fig7.csv", {40, 50, 60, 70, 80, 90, 100},
+      [](harness::ScenarioConfig& c, double x) {
+        c.with_nodes(static_cast<std::size_t>(x)).with_range(55.0).with_max_speed(0.2);
+      },
+      seeds);
+  return 0;
+}

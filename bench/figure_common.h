@@ -1,0 +1,53 @@
+// Shared plumbing for the per-figure reproduction benches: the paper's
+// base configuration (section 5.1) and sweep helpers producing the
+// Gossip-vs-MAODV series every figure plots.
+#ifndef AG_BENCH_FIGURE_COMMON_H
+#define AG_BENCH_FIGURE_COMMON_H
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/figure.h"
+#include "harness/scenario.h"
+
+namespace ag::bench {
+
+// Paper section 5.1 defaults: 200x200 m, 40 nodes, 1/3 members, 600 s,
+// 2201 packets from t=120 s, gossip 1 msg/s. Range/speed set per figure.
+inline harness::ScenarioConfig paper_base() {
+  harness::ScenarioConfig c;
+  return c;
+}
+
+// Runs one x-sweep for both protocols and prints/writes the figure.
+// `apply` mutates the config for a given x value.
+inline void run_two_series_figure(
+    const std::string& title, const std::string& x_label, const std::string& csv_name,
+    const std::vector<double>& xs,
+    const std::function<void(harness::ScenarioConfig&, double)>& apply,
+    std::uint32_t seeds, harness::ScenarioConfig base = paper_base()) {
+  harness::FigureSeries gossip{"Gossip", {}};
+  harness::FigureSeries maodv{"Maodv", {}};
+  for (double x : xs) {
+    harness::ScenarioConfig c = base;
+    apply(c, x);
+    c.with_protocol(harness::Protocol::maodv_gossip);
+    gossip.points.push_back(harness::run_point(c, seeds, x));
+    c.with_protocol(harness::Protocol::maodv);
+    maodv.points.push_back(harness::run_point(c, seeds, x));
+    std::printf("  [%s x=%g done]\n", title.c_str(), x);
+    std::fflush(stdout);
+  }
+  harness::print_figure(title, x_label, {gossip, maodv});
+  harness::write_figure_csv(csv_name, {gossip, maodv});
+  std::printf("(csv written to %s; paper used 10 seeds, this run used %u — set "
+              "AG_SEEDS to change)\n\n",
+              csv_name.c_str(), seeds);
+}
+
+}  // namespace ag::bench
+
+#endif  // AG_BENCH_FIGURE_COMMON_H

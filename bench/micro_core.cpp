@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths: the
+// event queue, RNG streams, gossip bookkeeping tables and the end-to-end
+// events-per-second rate of a full protocol stack.
+#include <benchmark/benchmark.h>
+
+#include "gossip/history_table.h"
+#include "gossip/lost_table.h"
+#include "gossip/member_cache.h"
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace ag;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::int64_t i = 0; i < n; ++i) {
+      q.schedule(sim::SimTime::us(i * 7 % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(q.schedule(sim::SimTime::us(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired < 10000) sim.schedule_after(sim::Duration::us(10), chain);
+    };
+    sim.schedule_after(sim::Duration::us(10), chain);
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+void BM_RngWeightedIndex(benchmark::State& state) {
+  sim::Rng rng{42};
+  std::vector<double> weights{1.0, 0.25, 4.0, 0.0625, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.weighted_index(weights));
+  }
+}
+BENCHMARK(BM_RngWeightedIndex);
+
+void BM_LostTableChurn(benchmark::State& state) {
+  const net::NodeId origin{1};
+  for (auto _ : state) {
+    gossip::LostTable t{200};
+    // Every third message missing, later recovered: the paper's workload.
+    for (std::uint32_t s = 0; s < 2000; s += 3) {
+      t.on_data({origin, s});
+      t.on_data({origin, s + 1});
+      // s+2 lost
+    }
+    for (std::uint32_t s = 2; s < 600; s += 3) t.on_data({origin, s});
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_LostTableChurn);
+
+void BM_HistoryTableLookup(benchmark::State& state) {
+  gossip::HistoryTable h{100};
+  net::MulticastData d;
+  d.origin = net::NodeId{1};
+  for (std::uint32_t s = 0; s < 100; ++s) {
+    d.seq = s;
+    h.push(d);
+  }
+  std::uint32_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.find({net::NodeId{1}, s++ % 150}));
+  }
+}
+BENCHMARK(BM_HistoryTableLookup);
+
+void BM_MemberCacheObserve(benchmark::State& state) {
+  sim::Rng rng{7};
+  gossip::MemberCache cache{10};
+  std::uint32_t n = 0;
+  for (auto _ : state) {
+    cache.observe(net::NodeId{n++ % 40}, static_cast<std::uint16_t>(1 + n % 6),
+                  sim::SimTime::us(static_cast<std::int64_t>(n)));
+    benchmark::DoNotOptimize(cache.pick_random(rng));
+  }
+}
+BENCHMARK(BM_MemberCacheObserve);
+
+// Whole-stack throughput: a complete 40-node scenario, measured in
+// simulated events per second of wall clock.
+void BM_FullScenarioEventsPerSecond(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::ScenarioConfig c;
+    c.seed = 11;
+    c.duration = sim::SimTime::seconds(30.0);
+    c.workload.start = sim::SimTime::seconds(10.0);
+    c.workload.end = sim::SimTime::seconds(25.0);
+    c.with_protocol(harness::Protocol::maodv_gossip);
+    harness::Network net{c};
+    net.run();
+    events += net.simulator().executed_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FullScenarioEventsPerSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+#include "aodv/neighbor_table.h"
+
+namespace ag::aodv {
+
+std::vector<net::NodeId> NeighborTable::sweep_expired(sim::SimTime cutoff) {
+  std::vector<net::NodeId> expired;
+  for (auto it = last_heard_.begin(); it != last_heard_.end();) {
+    if (it->second < cutoff) {
+      expired.push_back(it->first);
+      it = last_heard_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace ag::aodv

@@ -1,0 +1,34 @@
+// Hello-based neighbor liveness (paper: hello interval 600 ms, allowed
+// hello loss 4). Any frame from a neighbor counts as a sign of life.
+#ifndef AG_AODV_NEIGHBOR_TABLE_H
+#define AG_AODV_NEIGHBOR_TABLE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace ag::aodv {
+
+class NeighborTable {
+ public:
+  void heard(net::NodeId neighbor, sim::SimTime now) { last_heard_[neighbor] = now; }
+  void remove(net::NodeId neighbor) { last_heard_.erase(neighbor); }
+
+  [[nodiscard]] bool contains(net::NodeId neighbor) const {
+    return last_heard_.contains(neighbor);
+  }
+
+  // Removes and returns all neighbors not heard since `cutoff`.
+  std::vector<net::NodeId> sweep_expired(sim::SimTime cutoff);
+
+  [[nodiscard]] std::size_t size() const { return last_heard_.size(); }
+
+ private:
+  std::unordered_map<net::NodeId, sim::SimTime> last_heard_;
+};
+
+}  // namespace ag::aodv
+
+#endif  // AG_AODV_NEIGHBOR_TABLE_H

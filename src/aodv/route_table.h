@@ -1,0 +1,60 @@
+// The AODV Route Table (paper section 3): next hop, destination sequence
+// number, hop count and lifetime per destination, with the draft's
+// freshness rules for accepting new routing information.
+#ifndef AG_AODV_ROUTE_TABLE_H
+#define AG_AODV_ROUTE_TABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace ag::aodv {
+
+struct RouteEntry {
+  net::NodeId dest;
+  net::SeqNo seq;
+  bool seq_known{false};
+  std::uint8_t hops{0};
+  net::NodeId next_hop;
+  sim::SimTime expires;
+  bool valid{false};
+};
+
+class RouteTable {
+ public:
+  // Valid, unexpired entry or nullptr. Expired entries are invalidated
+  // lazily on lookup.
+  [[nodiscard]] RouteEntry* find_valid(net::NodeId dest, sim::SimTime now);
+  [[nodiscard]] RouteEntry* find(net::NodeId dest);
+  [[nodiscard]] const RouteEntry* find(net::NodeId dest) const;
+
+  // Offers new routing information, applying the draft's update rule:
+  // accept when the entry is missing or invalid, the sequence number is
+  // fresher, or it is equal with a smaller hop count. Unknown-sequence
+  // offers only ever replace invalid/unknown entries. Returns true if the
+  // table changed.
+  bool offer(net::NodeId dest, net::SeqNo seq, bool seq_known, std::uint8_t hops,
+             net::NodeId next_hop, sim::SimTime expires);
+
+  // Extends the lifetime of a valid entry (route was used).
+  void refresh(net::NodeId dest, sim::SimTime expires);
+
+  // Marks the entry invalid and bumps its sequence number (draft rule for
+  // broken routes). No-op if absent. Returns the invalidated entry or null.
+  RouteEntry* invalidate(net::NodeId dest);
+
+  // All valid destinations currently routed through `next_hop`.
+  [[nodiscard]] std::vector<net::NodeId> dests_via(net::NodeId next_hop) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<net::NodeId, RouteEntry> entries_;
+};
+
+}  // namespace ag::aodv
+
+#endif  // AG_AODV_ROUTE_TABLE_H

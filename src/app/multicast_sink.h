@@ -1,0 +1,43 @@
+// Receiving application: counts unique deliveries (the paper's headline
+// metric is "# pkts recvd" per member) and tracks delivery latency.
+#ifndef AG_APP_MULTICAST_SINK_H
+#define AG_APP_MULTICAST_SINK_H
+
+#include <cstdint>
+
+#include "net/data.h"
+#include "sim/simulator.h"
+
+namespace ag::app {
+
+class MulticastSink {
+ public:
+  explicit MulticastSink(sim::Simulator& sim) : sim_{sim} {}
+
+  // Wire as the GossipAgent's deliver callback (already deduplicated).
+  void on_deliver(const net::MulticastData& data, bool via_gossip) {
+    ++received_;
+    if (via_gossip) ++via_gossip_;
+    const double latency = (sim_.now() - data.sent_at).to_seconds();
+    latency_sum_s_ += latency;
+    if (latency > latency_max_s_) latency_max_s_ = latency;
+  }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t via_gossip() const { return via_gossip_; }
+  [[nodiscard]] double mean_latency_s() const {
+    return received_ == 0 ? 0.0 : latency_sum_s_ / static_cast<double>(received_);
+  }
+  [[nodiscard]] double max_latency_s() const { return latency_max_s_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint64_t received_{0};
+  std::uint64_t via_gossip_{0};
+  double latency_sum_s_{0.0};
+  double latency_max_s_{0.0};
+};
+
+}  // namespace ag::app
+
+#endif  // AG_APP_MULTICAST_SINK_H

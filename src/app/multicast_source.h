@@ -1,0 +1,51 @@
+// Constant-bit-rate multicast source application.
+#ifndef AG_APP_MULTICAST_SOURCE_H
+#define AG_APP_MULTICAST_SOURCE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "app/workload.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace ag::app {
+
+class MulticastSource {
+ public:
+  // `send` multicasts one packet of the given payload size (wired to
+  // MaodvRouter::send_multicast or FloodRouter::send_multicast).
+  using SendFn = std::function<void(std::uint16_t payload_bytes)>;
+
+  MulticastSource(sim::Simulator& sim, Workload workload, SendFn send)
+      : sim_{sim}, workload_{workload}, send_{std::move(send)}, timer_{sim, [this] {
+          tick();
+        }} {}
+
+  // Schedules the packet train; call once before the run.
+  void start() {
+    if (workload_.packet_count() == 0) return;
+    timer_.restart(workload_.start - sim_.now());
+  }
+
+  [[nodiscard]] std::uint32_t sent() const { return sent_; }
+
+ private:
+  void tick() {
+    send_(workload_.payload_bytes);
+    ++sent_;
+    if (sim_.now() + workload_.interval <= workload_.end) {
+      timer_.restart(workload_.interval);
+    }
+  }
+
+  sim::Simulator& sim_;
+  Workload workload_;
+  SendFn send_;
+  sim::Timer timer_;
+  std::uint32_t sent_{0};
+};
+
+}  // namespace ag::app
+
+#endif  // AG_APP_MULTICAST_SOURCE_H

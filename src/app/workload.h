@@ -1,0 +1,27 @@
+// Traffic workload description (paper section 5.1): one member sources
+// 64-byte packets every 200 ms from t=120 s to t=560 s — 2201 packets.
+#ifndef AG_APP_WORKLOAD_H
+#define AG_APP_WORKLOAD_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ag::app {
+
+struct Workload {
+  sim::SimTime start{sim::SimTime::seconds(120.0)};
+  sim::SimTime end{sim::SimTime::seconds(560.0)};
+  sim::Duration interval{sim::Duration::ms(200)};
+  std::uint16_t payload_bytes{64};
+
+  // Total packets the source will emit (inclusive endpoints).
+  [[nodiscard]] std::uint32_t packet_count() const {
+    if (end < start || interval.count_us() <= 0) return 0;
+    return static_cast<std::uint32_t>((end - start).count_us() / interval.count_us()) + 1;
+  }
+};
+
+}  // namespace ag::app
+
+#endif  // AG_APP_WORKLOAD_H

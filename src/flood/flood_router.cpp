@@ -1,0 +1,73 @@
+#include "flood/flood_router.h"
+
+namespace ag::flood {
+
+FloodRouter::FloodRouter(mac::CsmaMac& mac, net::NodeId self, std::uint8_t data_ttl,
+                         std::size_t dedup_capacity)
+    : mac_{mac}, self_{self}, data_ttl_{data_ttl}, dedup_capacity_{dedup_capacity} {
+  mac_.set_listener(this);
+}
+
+void FloodRouter::join_group(net::GroupId group) {
+  if (members_.insert(group).second && observer_ != nullptr) {
+    observer_->on_self_membership_changed(group, true);
+  }
+}
+
+void FloodRouter::leave_group(net::GroupId group) {
+  if (members_.erase(group) > 0 && observer_ != nullptr) {
+    observer_->on_self_membership_changed(group, false);
+  }
+}
+
+bool FloodRouter::remember(const net::MsgId& id) {
+  if (!seen_.insert(id).second) return false;
+  seen_order_.push_back(id);
+  while (seen_order_.size() > dedup_capacity_) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
+}
+
+std::uint32_t FloodRouter::send_multicast(net::GroupId group, std::uint16_t payload_bytes) {
+  const std::uint32_t seq = next_seq_[group]++;
+  net::MulticastData data;
+  data.group = group;
+  data.origin = self_;
+  data.seq = seq;
+  data.payload_bytes = payload_bytes;
+  data.hops = 0;
+  remember(net::MsgId{self_, seq});
+  ++counters_.data_originated;
+  if (observer_ != nullptr) observer_->on_multicast_data(data, self_);
+  net::Packet pkt;
+  pkt.src = self_;
+  pkt.dst = net::NodeId::broadcast();
+  pkt.ttl = data_ttl_;
+  pkt.payload = data;
+  mac_.send(net::NodeId::broadcast(), std::move(pkt));
+  return seq;
+}
+
+void FloodRouter::on_packet_received(const net::Packet& packet, net::NodeId from) {
+  const auto* data = packet.get_if<net::MulticastData>();
+  if (data == nullptr) return;
+  if (!remember(net::MsgId{data->origin, data->seq})) {
+    ++counters_.duplicates;
+    return;
+  }
+  if (members_.contains(data->group)) {
+    ++counters_.delivered;
+    if (observer_ != nullptr) observer_->on_multicast_data(*data, from);
+  }
+  if (packet.ttl > 1) {
+    net::Packet fwd = packet;
+    fwd.ttl--;
+    if (auto* d = fwd.get_if<net::MulticastData>()) d->hops++;
+    ++counters_.rebroadcasts;
+    mac_.send(net::NodeId::broadcast(), std::move(fwd));
+  }
+}
+
+}  // namespace ag::flood

@@ -1,0 +1,74 @@
+// Blind-flooding multicast (the related-work baseline of paper section 6,
+// Ho et al. [13]): every node rebroadcasts every data packet once. No
+// routing state, maximal robustness, maximal cost. Implements the gossip
+// RoutingAdapter degenerately (no tree, no unicast routing) to prove the
+// adapter abstraction and to serve as the ablation baseline.
+#ifndef AG_FLOOD_FLOOD_ROUTER_H
+#define AG_FLOOD_FLOOD_ROUTER_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "gossip/routing_adapter.h"
+#include "mac/csma_mac.h"
+#include "net/data.h"
+#include "net/packet.h"
+
+namespace ag::flood {
+
+class FloodRouter final : public mac::MacListener, public gossip::RoutingAdapter {
+ public:
+  FloodRouter(mac::CsmaMac& mac, net::NodeId self, std::uint8_t data_ttl = 32,
+              std::size_t dedup_capacity = 8192);
+
+  void set_observer(gossip::RouterObserver* observer) { observer_ = observer; }
+
+  void join_group(net::GroupId group);
+  void leave_group(net::GroupId group);
+  std::uint32_t send_multicast(net::GroupId group, std::uint16_t payload_bytes);
+
+  struct Counters {
+    std::uint64_t data_originated{0};
+    std::uint64_t rebroadcasts{0};
+    std::uint64_t delivered{0};
+    std::uint64_t duplicates{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // mac::MacListener:
+  void on_packet_received(const net::Packet& packet, net::NodeId from) override;
+  void on_unicast_failed(const net::Packet&, net::NodeId) override {}
+
+  // gossip::RoutingAdapter (degenerate: flooding has no tree or routes).
+  [[nodiscard]] net::NodeId self() const override { return self_; }
+  [[nodiscard]] bool is_member(net::GroupId group) const override {
+    return members_.contains(group);
+  }
+  [[nodiscard]] bool on_tree(net::GroupId) const override { return false; }
+  [[nodiscard]] std::vector<net::NodeId> tree_neighbors(net::GroupId) const override {
+    return {};
+  }
+  void unicast(net::NodeId, net::Payload) override {}       // no unicast routing
+  void send_to_neighbor(net::NodeId, net::Payload) override {}
+  void route_hint(net::NodeId, net::NodeId, std::uint8_t) override {}
+  [[nodiscard]] std::uint8_t route_hops(net::NodeId) const override { return 0; }
+
+ private:
+  bool remember(const net::MsgId& id);
+
+  mac::CsmaMac& mac_;
+  net::NodeId self_;
+  std::uint8_t data_ttl_;
+  std::size_t dedup_capacity_;
+  gossip::RouterObserver* observer_{nullptr};
+  std::unordered_set<net::GroupId> members_;
+  std::unordered_map<net::GroupId, std::uint32_t> next_seq_;
+  std::unordered_set<net::MsgId> seen_;
+  std::deque<net::MsgId> seen_order_;
+  Counters counters_;
+};
+
+}  // namespace ag::flood
+
+#endif  // AG_FLOOD_FLOOD_ROUTER_H

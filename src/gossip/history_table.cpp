@@ -1,0 +1,48 @@
+#include "gossip/history_table.h"
+
+#include <algorithm>
+
+namespace ag::gossip {
+
+void HistoryTable::push(const net::MulticastData& data) {
+  const net::MsgId id{data.origin, data.seq};
+  if (!by_id_.try_emplace(id, data).second) return;
+  order_.push_back(id);
+  while (order_.size() > capacity_) {
+    by_id_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+const net::MulticastData* HistoryTable::find(const net::MsgId& id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::MulticastData> HistoryTable::recent(std::size_t max_count) const {
+  std::vector<net::MulticastData> out;
+  out.reserve(std::min(max_count, order_.size()));
+  for (auto it = order_.rbegin(); it != order_.rend() && out.size() < max_count; ++it) {
+    out.push_back(by_id_.at(*it));
+  }
+  return out;
+}
+
+std::vector<net::MulticastData> HistoryTable::collect_from(net::NodeId origin,
+                                                           std::uint32_t from_seq,
+                                                           std::size_t max_count) const {
+  std::vector<net::MulticastData> out;
+  for (const net::MsgId& id : order_) {
+    if (out.size() >= max_count) break;
+    if (id.origin == origin && id.seq >= from_seq) {
+      out.push_back(by_id_.at(id));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const net::MulticastData& a, const net::MulticastData& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace ag::gossip

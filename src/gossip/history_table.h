@@ -1,0 +1,48 @@
+// The history table (paper section 4.4): a bounded FIFO of the most
+// recently received data messages, indexed for O(1) lookup so gossip
+// requests can be answered from it.
+#ifndef AG_GOSSIP_HISTORY_TABLE_H
+#define AG_GOSSIP_HISTORY_TABLE_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/data.h"
+
+namespace ag::gossip {
+
+class HistoryTable {
+ public:
+  explicit HistoryTable(std::size_t capacity) : capacity_{capacity} {}
+
+  // Stores a copy; evicts the oldest entry when full. Duplicate ids are
+  // ignored (first copy wins).
+  void push(const net::MulticastData& data);
+
+  [[nodiscard]] const net::MulticastData* find(const net::MsgId& id) const;
+  [[nodiscard]] bool contains(const net::MsgId& id) const { return find(id) != nullptr; }
+
+  // Messages from `origin` with seq >= from_seq, oldest first, at most
+  // `max_count` — serves the "beyond expected" half of a pull request.
+  [[nodiscard]] std::vector<net::MulticastData> collect_from(net::NodeId origin,
+                                                             std::uint32_t from_seq,
+                                                             std::size_t max_count) const;
+
+  // The `max_count` most recently received messages (newest first) —
+  // the payload of a push-mode gossip round.
+  [[nodiscard]] std::vector<net::MulticastData> recent(std::size_t max_count) const;
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<net::MsgId> order_;  // front = oldest
+  std::unordered_map<net::MsgId, net::MulticastData> by_id_;
+};
+
+}  // namespace ag::gossip
+
+#endif  // AG_GOSSIP_HISTORY_TABLE_H

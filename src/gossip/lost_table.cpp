@@ -1,0 +1,66 @@
+#include "gossip/lost_table.h"
+
+#include <algorithm>
+
+namespace ag::gossip {
+
+ReceiveOutcome LostTable::on_data(const net::MsgId& id) {
+  std::uint32_t& expected = expected_[id.origin];
+  if (id.seq == expected) {
+    expected = id.seq + 1;
+    return ReceiveOutcome::in_order;
+  }
+  if (id.seq > expected) {
+    for (std::uint32_t s = expected; s < id.seq; ++s) {
+      add_lost(net::MsgId{id.origin, s});
+    }
+    expected = id.seq + 1;
+    return ReceiveOutcome::created_holes;
+  }
+  // Older than expected: either a recovery or a duplicate.
+  if (lost_.erase(id) > 0) {
+    // Lazy removal from insertion_order_ happens in most_recent().
+    return ReceiveOutcome::recovered;
+  }
+  return ReceiveOutcome::duplicate;
+}
+
+void LostTable::add_lost(const net::MsgId& id) {
+  if (!lost_.insert(id).second) return;
+  insertion_order_.push_back(id);
+  while (lost_.size() > capacity_) {
+    // Drop the oldest hole: with a full table the node gives up on the
+    // most stale losses first (bounded memory, paper's table size 200).
+    while (!insertion_order_.empty() && !lost_.contains(insertion_order_.front())) {
+      insertion_order_.pop_front();
+    }
+    if (insertion_order_.empty()) break;
+    lost_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++abandoned_;
+  }
+}
+
+std::vector<net::MsgId> LostTable::most_recent(std::size_t max_count) const {
+  std::vector<net::MsgId> out;
+  out.reserve(std::min(max_count, lost_.size()));
+  for (auto it = insertion_order_.rbegin();
+       it != insertion_order_.rend() && out.size() < max_count; ++it) {
+    if (lost_.contains(*it)) out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<SenderExpectation> LostTable::expectations() const {
+  std::vector<SenderExpectation> out;
+  out.reserve(expected_.size());
+  for (const auto& [sender, seq] : expected_) out.push_back({sender, seq});
+  return out;
+}
+
+std::uint32_t LostTable::expected_for(net::NodeId sender) const {
+  auto it = expected_.find(sender);
+  return it == expected_.end() ? 0 : it->second;
+}
+
+}  // namespace ag::gossip

@@ -1,0 +1,55 @@
+#include "gossip/member_cache.h"
+
+#include <algorithm>
+
+namespace ag::gossip {
+
+MemberCache::Entry* MemberCache::find(net::NodeId member) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.node == member; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+bool MemberCache::contains(net::NodeId member) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.node == member; });
+}
+
+void MemberCache::observe(net::NodeId member, std::uint16_t numhops, sim::SimTime now) {
+  if (Entry* e = find(member)) {
+    if (numhops > 0) e->numhops = numhops;
+    return;
+  }
+  const std::uint16_t hops = numhops > 0 ? numhops : std::uint16_t{0xFFFF};
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{member, hops, sim::SimTime::zero()});
+    return;
+  }
+  // Paper's rule: delete a member with greater numhops; if none, replace
+  // the entry with the most recent last_gossip.
+  auto farthest = std::max_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.numhops < b.numhops; });
+  if (farthest != entries_.end() && farthest->numhops > hops) {
+    *farthest = Entry{member, hops, sim::SimTime::zero()};
+    return;
+  }
+  auto most_recent = std::max_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.last_gossip < b.last_gossip; });
+  *most_recent = Entry{member, hops, sim::SimTime::zero()};
+  (void)now;
+}
+
+void MemberCache::note_gossiped(net::NodeId member, sim::SimTime now) {
+  if (Entry* e = find(member)) e->last_gossip = now;
+}
+
+net::NodeId MemberCache::pick_random(sim::Rng& rng) const {
+  if (entries_.empty()) return net::NodeId::invalid();
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(entries_.size()) - 1));
+  return entries_[idx].node;
+}
+
+}  // namespace ag::gossip

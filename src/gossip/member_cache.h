@@ -1,0 +1,51 @@
+// The member cache (paper section 4.3): a bounded buffer of
+// (node_addr, numhops, last_gossip) tuples learned for free from protocol
+// traffic. Eviction follows the paper exactly: prefer evicting a member
+// farther away than the newcomer; otherwise replace the member gossiped
+// with most recently (avoids repeatedly gossiping with the same members).
+#ifndef AG_GOSSIP_MEMBER_CACHE_H
+#define AG_GOSSIP_MEMBER_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ag::gossip {
+
+class MemberCache {
+ public:
+  explicit MemberCache(std::size_t capacity) : capacity_{capacity} {}
+
+  struct Entry {
+    net::NodeId node;
+    std::uint16_t numhops{0};
+    sim::SimTime last_gossip;
+  };
+
+  // Records that traffic from `member` was seen `numhops` away (0 hops =
+  // distance unknown; keeps a previous estimate if present).
+  void observe(net::NodeId member, std::uint16_t numhops, sim::SimTime now);
+
+  // Stamps the time of an initiated gossip with `member`.
+  void note_gossiped(net::NodeId member, sim::SimTime now);
+
+  // Uniformly random cached member; invalid() when empty.
+  [[nodiscard]] net::NodeId pick_random(sim::Rng& rng) const;
+
+  [[nodiscard]] bool contains(net::NodeId member) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  [[nodiscard]] Entry* find(net::NodeId member);
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ag::gossip
+
+#endif  // AG_GOSSIP_MEMBER_CACHE_H

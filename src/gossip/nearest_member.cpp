@@ -1,0 +1,83 @@
+#include "gossip/nearest_member.h"
+
+#include <algorithm>
+
+namespace ag::gossip {
+
+void NearestMemberTracker::on_neighbor_added(net::GroupId group, net::NodeId neighbor,
+                                             std::uint16_t member_distance_hint) {
+  GroupState& g = groups_[group];
+  g.values[neighbor] = member_distance_hint == 0 ? kInfinity : member_distance_hint;
+  g.last_advertised.erase(neighbor);  // force an initial MODIFY to the newcomer
+  publish(group);
+}
+
+void NearestMemberTracker::on_neighbor_removed(net::GroupId group, net::NodeId neighbor) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  it->second.values.erase(neighbor);
+  it->second.last_advertised.erase(neighbor);
+  publish(group);
+}
+
+void NearestMemberTracker::on_self_membership(net::GroupId group, bool member) {
+  groups_[group].self_member = member;
+  publish(group);
+}
+
+void NearestMemberTracker::on_update_received(net::GroupId group, net::NodeId from,
+                                              std::uint16_t value) {
+  GroupState& g = groups_[group];
+  auto it = g.values.find(from);
+  if (it == g.values.end()) return;  // not an activated hop (stale message)
+  if (it->second == value) return;
+  it->second = value;
+  publish(group);
+}
+
+std::uint16_t NearestMemberTracker::value_for(net::GroupId group,
+                                              net::NodeId neighbor) const {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return kInfinity;
+  auto it = git->second.values.find(neighbor);
+  return it == git->second.values.end() ? kInfinity : it->second;
+}
+
+std::uint16_t NearestMemberTracker::advertised_to(net::GroupId group,
+                                                  net::NodeId exclude) const {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return kInfinity;
+  const GroupState& g = git->second;
+  if (g.self_member) return 1;  // this node itself is one hop from `exclude`
+  std::uint16_t best = kInfinity;
+  for (const auto& [neighbor, value] : g.values) {
+    if (neighbor == exclude) continue;
+    best = std::min(best, value);
+  }
+  return best == kInfinity ? kInfinity : static_cast<std::uint16_t>(best + 1);
+}
+
+void NearestMemberTracker::republish_all() {
+  for (auto& [group, state] : groups_) {
+    state.last_advertised.clear();
+    publish(group);
+  }
+}
+
+void NearestMemberTracker::publish(net::GroupId group) {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  GroupState& g = git->second;
+  for (const auto& [neighbor, unused] : g.values) {
+    (void)unused;
+    const std::uint16_t value = advertised_to(group, neighbor);
+    auto [it, inserted] = g.last_advertised.try_emplace(neighbor, value);
+    if (!inserted) {
+      if (it->second == value) continue;  // unchanged: suppress (paper 4.2)
+      it->second = value;
+    }
+    send_(group, neighbor, value);
+  }
+}
+
+}  // namespace ag::gossip

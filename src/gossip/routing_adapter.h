@@ -1,0 +1,64 @@
+// The boundary between Anonymous Gossip and the multicast routing
+// substrate. The paper stresses that AG works "on top of any of the
+// tree-based and mesh-based protocols"; GossipAgent therefore depends only
+// on these two interfaces, and MaodvRouter (or any other protocol)
+// implements them.
+#ifndef AG_GOSSIP_ROUTING_ADAPTER_H
+#define AG_GOSSIP_ROUTING_ADAPTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/data.h"
+#include "net/ids.h"
+#include "net/packet.h"
+
+namespace ag::gossip {
+
+// Services the gossip layer consumes from the routing protocol.
+class RoutingAdapter {
+ public:
+  virtual ~RoutingAdapter() = default;
+
+  [[nodiscard]] virtual net::NodeId self() const = 0;
+  [[nodiscard]] virtual bool is_member(net::GroupId group) const = 0;
+  [[nodiscard]] virtual bool on_tree(net::GroupId group) const = 0;
+  // Activated multicast tree neighbors (the walk's candidate next hops).
+  [[nodiscard]] virtual std::vector<net::NodeId> tree_neighbors(net::GroupId group) const = 0;
+
+  // Routed unicast to an arbitrary node (cached gossip, gossip replies).
+  virtual void unicast(net::NodeId dest, net::Payload payload) = 0;
+  // One-hop unicast to a direct neighbor (walk forwarding, nearest-member).
+  virtual void send_to_neighbor(net::NodeId neighbor, net::Payload payload) = 0;
+  // Installs a route learned from a passing gossip walk so the reply can
+  // be unicast without a fresh route discovery.
+  virtual void route_hint(net::NodeId dest, net::NodeId via_neighbor, std::uint8_t hops) = 0;
+  // Known distance in hops to `dest`; 0 when unknown.
+  [[nodiscard]] virtual std::uint8_t route_hops(net::NodeId dest) const = 0;
+};
+
+// Events the routing protocol pushes into the gossip layer.
+class RouterObserver {
+ public:
+  virtual ~RouterObserver() = default;
+
+  // A unique (deduplicated) multicast data packet arrived via the
+  // protocol's own distribution path.
+  virtual void on_multicast_data(const net::MulticastData& data, net::NodeId from) = 0;
+  // Activated tree link appeared/disappeared. `member_distance_hint` is 1
+  // when the neighbor itself is known to be a group member, 0 if unknown.
+  virtual void on_tree_neighbor_added(net::GroupId group, net::NodeId neighbor,
+                                      std::uint16_t member_distance_hint) = 0;
+  virtual void on_tree_neighbor_removed(net::GroupId group, net::NodeId neighbor) = 0;
+  virtual void on_self_membership_changed(net::GroupId group, bool member) = 0;
+  // A group member was learned from protocol traffic (e.g. a join RREP
+  // answered by a member) — feeds the member cache "at no extra cost".
+  virtual void on_member_learned(net::GroupId group, net::NodeId member,
+                                 std::uint8_t hops) = 0;
+  // A gossip-layer packet (walk, reply, nearest-member) addressed to us.
+  virtual void on_gossip_packet(const net::Packet& packet, net::NodeId from) = 0;
+};
+
+}  // namespace ag::gossip
+
+#endif  // AG_GOSSIP_ROUTING_ADAPTER_H

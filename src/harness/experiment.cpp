@@ -1,0 +1,39 @@
+#include "harness/experiment.h"
+
+#include <string>
+
+namespace ag::harness {
+
+SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x) {
+  SeriesPoint point;
+  point.x = x;
+  std::vector<double> all_received;
+  double goodput_sum = 0.0;
+  double ratio_sum = 0.0;
+  std::uint64_t tx_sum = 0;
+  for (std::uint32_t s = 1; s <= seeds; ++s) {
+    stats::RunResult r = run_scenario(config.with_seed(s));
+    for (double v : r.received_per_member()) all_received.push_back(v);
+    goodput_sum += r.mean_goodput_pct();
+    ratio_sum += r.delivery_ratio();
+    tx_sum += r.totals.channel_transmissions;
+    point.runs.push_back(std::move(r));
+  }
+  point.received = stats::summarize(all_received);
+  if (seeds > 0) {
+    point.mean_goodput_pct = goodput_sum / seeds;
+    point.mean_delivery_ratio = ratio_sum / seeds;
+    point.mean_transmissions = tx_sum / seeds;
+  }
+  return point;
+}
+
+std::uint32_t seeds_from_env(std::uint32_t fallback) {
+  if (const char* env = std::getenv("AG_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<std::uint32_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace ag::harness

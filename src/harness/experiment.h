@@ -1,0 +1,35 @@
+// Multi-seed experiment driver: runs one configuration across seeds and
+// aggregates per-member delivery exactly the way the paper's figures do
+// (average line + min/max error bars over the full set of receivers).
+#ifndef AG_HARNESS_EXPERIMENT_H
+#define AG_HARNESS_EXPERIMENT_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "stats/run_result.h"
+#include "stats/summary.h"
+
+namespace ag::harness {
+
+struct SeriesPoint {
+  double x{0.0};                // swept parameter value
+  stats::Summary received;      // per-member received packets across seeds
+  double mean_goodput_pct{100.0};
+  double mean_delivery_ratio{0.0};
+  std::uint64_t mean_transmissions{0};  // network-wide MAC transmissions
+  std::vector<stats::RunResult> runs;   // raw results (one per seed)
+};
+
+// Runs `config` with seeds 1..seeds and aggregates.
+[[nodiscard]] SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x);
+
+// Number of seeds per point: AG_SEEDS env var, else `fallback`.
+[[nodiscard]] std::uint32_t seeds_from_env(std::uint32_t fallback = 5);
+
+}  // namespace ag::harness
+
+#endif  // AG_HARNESS_EXPERIMENT_H

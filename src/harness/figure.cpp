@@ -1,0 +1,54 @@
+#include "harness/figure.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ag::harness {
+
+void print_figure(const std::string& title, const std::string& x_label,
+                  const std::vector<FigureSeries>& series) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("%-12s", x_label.c_str());
+  for (const FigureSeries& s : series) {
+    std::printf(" | %s avg    min    max", s.name.c_str());
+  }
+  std::printf("\n");
+  if (series.empty() || series.front().points.empty()) return;
+  const std::size_t rows = series.front().points.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::printf("%-12g", series.front().points[i].x);
+    for (const FigureSeries& s : series) {
+      if (i < s.points.size()) {
+        const auto& p = s.points[i].received;
+        std::printf(" | %10.1f %6.0f %6.0f", p.mean, p.min, p.max);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+bool write_figure_csv(const std::string& path, const std::vector<FigureSeries>& series) {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << "x";
+  for (const FigureSeries& s : series) {
+    out << ',' << s.name << "_avg," << s.name << "_min," << s.name << "_max";
+  }
+  out << '\n';
+  if (series.empty()) return true;
+  const std::size_t rows = series.front().points.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    out << series.front().points[i].x;
+    for (const FigureSeries& s : series) {
+      if (i < s.points.size()) {
+        const auto& p = s.points[i].received;
+        out << ',' << p.mean << ',' << p.min << ',' << p.max;
+      }
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace ag::harness

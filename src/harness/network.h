@@ -1,0 +1,86 @@
+// Assembles a full network from a ScenarioConfig: mobility, channel, and
+// one protocol stack (radio / MAC / router / gossip agent / app) per node;
+// runs the scenario and extracts the RunResult.
+#ifndef AG_HARNESS_NETWORK_H
+#define AG_HARNESS_NETWORK_H
+
+#include <memory>
+#include <vector>
+
+#include "app/multicast_sink.h"
+#include "app/multicast_source.h"
+#include "flood/flood_router.h"
+#include "gossip/gossip_agent.h"
+#include "harness/scenario.h"
+#include "maodv/maodv_router.h"
+#include "odmrp/odmrp_router.h"
+#include "phy/channel.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+#include "stats/run_result.h"
+
+namespace ag::harness {
+
+// The single multicast group used by the paper's experiments.
+inline constexpr net::GroupId kGroup{1};
+
+class Network {
+ public:
+  explicit Network(const ScenarioConfig& config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Runs the configured scenario to completion (joins, traffic, drain).
+  void run();
+  // Runs only until `until` (for tests that inspect intermediate state).
+  void run_until(sim::SimTime until) { sim_.run_until(until); }
+
+  [[nodiscard]] stats::RunResult result() const;
+
+  // --- accessors for tests and examples ---
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] phy::Channel& channel() { return *channel_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t node_count() const { return stacks_.size(); }
+  [[nodiscard]] maodv::MaodvRouter* router(std::size_t i) { return stacks_[i]->maodv.get(); }
+  [[nodiscard]] flood::FloodRouter* flood_router(std::size_t i) {
+    return stacks_[i]->flood.get();
+  }
+  [[nodiscard]] odmrp::OdmrpRouter* odmrp_router(std::size_t i) {
+    return stacks_[i]->odmrp.get();
+  }
+  [[nodiscard]] gossip::GossipAgent& agent(std::size_t i) { return *stacks_[i]->agent; }
+  [[nodiscard]] app::MulticastSink* sink(std::size_t i) { return stacks_[i]->sink.get(); }
+  [[nodiscard]] mac::CsmaMac& mac(std::size_t i) { return *stacks_[i]->mac; }
+  [[nodiscard]] bool is_member(std::size_t i) const { return i < config_.member_count(); }
+  [[nodiscard]] std::size_t source_index() const { return 0; }
+  [[nodiscard]] std::uint32_t packets_sent() const {
+    return source_ == nullptr ? 0 : source_->sent();
+  }
+
+ private:
+  struct NodeStack {
+    std::unique_ptr<phy::Radio> radio;
+    std::unique_ptr<mac::CsmaMac> mac;
+    std::unique_ptr<maodv::MaodvRouter> maodv;  // the protocol slots are
+    std::unique_ptr<flood::FloodRouter> flood;  // mutually exclusive: one
+    std::unique_ptr<odmrp::OdmrpRouter> odmrp;  // per configured Protocol
+    std::unique_ptr<gossip::GossipAgent> agent;
+    std::unique_ptr<app::MulticastSink> sink;   // members only
+  };
+
+  ScenarioConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<mobility::RandomWaypoint> mobility_;
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<std::unique_ptr<NodeStack>> stacks_;
+  std::unique_ptr<app::MulticastSource> source_;
+};
+
+// Builds, runs and summarizes one scenario.
+[[nodiscard]] stats::RunResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace ag::harness
+
+#endif  // AG_HARNESS_NETWORK_H

@@ -1,0 +1,80 @@
+// Full description of one simulation run — defaults reproduce the paper's
+// environment (section 5.1): 200x200 m, 40 nodes, 1/3 members, random
+// waypoint with pause U(0,80) s, 2 Mbps 802.11, 600 s runs, CBR source.
+#ifndef AG_HARNESS_SCENARIO_H
+#define AG_HARNESS_SCENARIO_H
+
+#include <cstdint>
+
+#include "aodv/params.h"
+#include "app/workload.h"
+#include "gossip/params.h"
+#include "mac/mac_params.h"
+#include "maodv/params.h"
+#include "mobility/random_waypoint.h"
+#include "odmrp/params.h"
+#include "phy/phy_params.h"
+
+namespace ag::harness {
+
+enum class Protocol : std::uint8_t {
+  maodv,         // bare MAODV (the paper's baseline curves)
+  maodv_gossip,  // MAODV + Anonymous Gossip (the paper's contribution)
+  flooding,      // blind flooding (related-work comparison, ablations)
+  odmrp,         // bare ODMRP mesh (paper section 5.5's next target)
+  odmrp_gossip,  // ODMRP + Anonymous Gossip over the mesh
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed{1};
+  Protocol protocol{Protocol::maodv_gossip};
+
+  std::size_t node_count{40};
+  double member_fraction{1.0 / 3.0};
+
+  mobility::RandomWaypointConfig waypoint{};  // 200x200 m, pause U(0,80) s
+  phy::PhyParams phy{};                       // range set per experiment
+  mac::MacParams mac{};
+  aodv::AodvParams aodv{};
+  maodv::MaodvParams maodv{};
+  odmrp::OdmrpParams odmrp{};
+  gossip::GossipParams gossip{};
+  app::Workload workload{};
+
+  sim::SimTime duration{sim::SimTime::seconds(600.0)};
+  // Members join within [0, join_spread) of the start ("all the nodes
+  // joined the group at the beginning of the simulation").
+  sim::Duration join_spread{sim::Duration::seconds(5.0)};
+
+  [[nodiscard]] std::size_t member_count() const {
+    auto k = static_cast<std::size_t>(static_cast<double>(node_count) * member_fraction + 0.5);
+    return k < 2 ? 2 : k;
+  }
+
+  // Convenience setters used by benches/examples.
+  ScenarioConfig& with_range(double meters) {
+    phy.transmission_range_m = meters;
+    return *this;
+  }
+  ScenarioConfig& with_max_speed(double mps) {
+    waypoint.max_speed_mps = mps;
+    return *this;
+  }
+  ScenarioConfig& with_nodes(std::size_t n) {
+    node_count = n;
+    return *this;
+  }
+  ScenarioConfig& with_protocol(Protocol p) {
+    protocol = p;
+    gossip.enabled = (p == Protocol::maodv_gossip || p == Protocol::odmrp_gossip);
+    return *this;
+  }
+  ScenarioConfig& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+};
+
+}  // namespace ag::harness
+
+#endif  // AG_HARNESS_SCENARIO_H

@@ -1,0 +1,231 @@
+#include "mac/csma_mac.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ag::mac {
+
+CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, const phy::Channel& channel,
+                 net::NodeId self, MacParams params, sim::Rng rng)
+    : sim_{sim},
+      radio_{radio},
+      channel_{channel},
+      self_{self},
+      params_{params},
+      rng_{rng},
+      cw_{params.cw_min},
+      access_timer_{sim, [this] { difs_done_ ? on_slot_elapsed() : on_difs_elapsed(); }},
+      ack_timer_{sim, [this] { on_ack_timeout(); }} {
+  radio_.set_listener(this);
+}
+
+bool CsmaMac::send(net::NodeId mac_dst, net::Packet packet) {
+  if (queue_.size() >= params_.queue_limit) {
+    ++counters_.queue_drops;
+    return false;
+  }
+  queue_.push_back(Outgoing{mac_dst, std::move(packet)});
+  if (state_ == State::idle) begin_access();
+  return true;
+}
+
+void CsmaMac::begin_access() {
+  assert(!queue_.empty());
+  state_ = State::contending;
+  retries_ = 0;
+  cw_ = params_.cw_min;
+  // DCF rule: transmit after DIFS only if the medium was already idle when
+  // the frame arrived; otherwise draw a random backoff. Without this,
+  // every node that heard the same broadcast would retransmit in the same
+  // slot and collide (the classic synchronized-forwarders storm).
+  if (radio_.medium_busy() || radio_.idle_for() < params_.difs) {
+    draw_backoff();
+  } else {
+    backoff_slots_ = 0;
+    difs_done_ = false;
+  }
+  resume_contention();
+}
+
+void CsmaMac::resume_contention() {
+  if (radio_.medium_busy()) return;  // on_medium_idle will call us again
+  // Credit idle time already elapsed toward the DIFS wait.
+  const sim::Duration already_idle = radio_.idle_for();
+  if (already_idle >= params_.difs) {
+    difs_done_ = true;
+    if (backoff_slots_ == 0) {
+      start_transmission();
+    } else {
+      access_timer_.restart(params_.slot);
+    }
+  } else {
+    difs_done_ = false;
+    access_timer_.restart(params_.difs - already_idle);
+  }
+}
+
+void CsmaMac::pause_contention() {
+  access_timer_.cancel();
+  difs_done_ = false;
+}
+
+void CsmaMac::on_difs_elapsed() {
+  difs_done_ = true;
+  if (backoff_slots_ == 0) {
+    start_transmission();
+  } else {
+    access_timer_.restart(params_.slot);
+  }
+}
+
+void CsmaMac::on_slot_elapsed() {
+  assert(backoff_slots_ > 0);
+  --backoff_slots_;
+  if (backoff_slots_ == 0) {
+    start_transmission();
+  } else {
+    access_timer_.restart(params_.slot);
+  }
+}
+
+void CsmaMac::start_transmission() {
+  assert(state_ == State::contending);
+  assert(!radio_.transmitting());
+  const Outgoing& out = queue_.front();
+  Frame frame{FrameKind::data, self_, out.dst, next_mac_seq_, out.packet};
+  state_ = State::tx_data;
+  if (out.dst.is_broadcast()) {
+    ++counters_.broadcast_sent;
+  } else {
+    ++counters_.unicast_sent;
+    if (retries_ > 0) ++counters_.retries;
+  }
+  radio_.transmit(frame);
+}
+
+void CsmaMac::on_transmit_complete() {
+  if (state_ == State::tx_ack) {
+    // ACK finished; resume whatever we were doing. on_medium_idle triggers
+    // resume_contention when the air clears.
+    state_ = queue_.empty() ? State::idle : State::contending;
+    if (state_ == State::contending) resume_contention();
+    return;
+  }
+  if (state_ != State::tx_data) return;
+  const Outgoing& out = queue_.front();
+  if (out.dst.is_broadcast()) {
+    transmission_succeeded();
+    return;
+  }
+  // Unicast: wait for the ACK. Timeout covers SIFS + ACK airtime + slack.
+  state_ = State::awaiting_ack;
+  const Frame ack{FrameKind::ack, out.dst, self_, 0, {}};
+  const sim::Duration timeout =
+      params_.sifs + channel_.airtime_of(ack) + params_.slot * 3;
+  ack_timer_.restart(timeout);
+}
+
+void CsmaMac::on_ack_timeout() {
+  assert(state_ == State::awaiting_ack);
+  ++retries_;
+  if (retries_ > params_.retry_limit) {
+    ++counters_.unicast_failed;
+    give_up_current();
+    return;
+  }
+  cw_ = std::min(cw_ * 2 + 1, params_.cw_max);
+  draw_backoff();
+  state_ = State::contending;
+  resume_contention();
+}
+
+void CsmaMac::transmission_succeeded() {
+  ++next_mac_seq_;
+  finish_current_and_continue();
+}
+
+void CsmaMac::give_up_current() {
+  Outgoing out = std::move(queue_.front());
+  ++next_mac_seq_;
+  queue_.pop_front();
+  state_ = queue_.empty() ? State::idle : State::contending;
+  if (listener_ != nullptr) listener_->on_unicast_failed(out.packet, out.dst);
+  if (state_ == State::contending) {
+    retries_ = 0;
+    cw_ = params_.cw_min;
+    draw_backoff();
+    resume_contention();
+  }
+}
+
+void CsmaMac::finish_current_and_continue() {
+  queue_.pop_front();
+  if (queue_.empty()) {
+    state_ = State::idle;
+    return;
+  }
+  state_ = State::contending;
+  retries_ = 0;
+  cw_ = params_.cw_min;
+  // Post-transmission backoff decorrelates back-to-back senders.
+  draw_backoff();
+  resume_contention();
+}
+
+void CsmaMac::draw_backoff() {
+  backoff_slots_ = static_cast<std::uint32_t>(rng_.uniform_int(0, cw_));
+  difs_done_ = false;
+}
+
+void CsmaMac::on_medium_busy() {
+  if (state_ == State::contending) pause_contention();
+}
+
+void CsmaMac::on_medium_idle() {
+  if (state_ == State::contending) resume_contention();
+}
+
+void CsmaMac::on_frame_received(const Frame& frame) {
+  if (frame.kind == FrameKind::ack) {
+    if (state_ == State::awaiting_ack && frame.mac_dst == self_ &&
+        frame.mac_src == queue_.front().dst && frame.mac_seq == next_mac_seq_) {
+      ack_timer_.cancel();
+      transmission_succeeded();
+    }
+    return;
+  }
+  // Data frame.
+  if (frame.mac_dst == self_) {
+    send_ack(frame.mac_src, frame.mac_seq);
+    auto [it, fresh] = last_rx_seq_.try_emplace(frame.mac_src, frame.mac_seq);
+    if (!fresh) {
+      if (it->second == frame.mac_seq) {
+        ++counters_.dup_frames_dropped;  // retransmission we already accepted
+        return;
+      }
+      it->second = frame.mac_seq;
+    }
+  } else if (!frame.mac_dst.is_broadcast()) {
+    return;  // unicast for somebody else
+  }
+  ++counters_.delivered_up;
+  if (listener_ != nullptr) listener_->on_packet_received(frame.packet, frame.mac_src);
+}
+
+void CsmaMac::send_ack(net::NodeId to, std::uint16_t seq) {
+  sim_.schedule_after(params_.sifs, [this, to, seq] {
+    if (radio_.transmitting()) return;  // rare overlap; sender will retry
+    // While awaiting an ACK ourselves, transmit without disturbing that
+    // state machine (on_transmit_complete ignores the completion).
+    if (state_ == State::contending) {
+      pause_contention();
+      state_ = State::tx_ack;
+    } else if (state_ == State::idle) {
+      state_ = State::tx_ack;
+    }
+    ++counters_.acks_sent;
+    radio_.transmit(Frame{FrameKind::ack, self_, to, seq, {}});
+  });
+}
+
+}  // namespace ag::mac

@@ -1,0 +1,119 @@
+// CSMA/CA MAC in the style of the 802.11 DCF: physical carrier sense,
+// DIFS deference, slotted binary-exponential backoff that freezes while
+// the medium is busy, positive ACK with retransmission for unicast, and
+// unacknowledged single-shot broadcast. RTS/CTS and the NAV are omitted
+// (64-byte data frames sit below any reasonable RTS threshold; see
+// DESIGN.md). Failed unicasts surface as link-break feedback to routing.
+#ifndef AG_MAC_CSMA_MAC_H
+#define AG_MAC_CSMA_MAC_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mac/frame.h"
+#include "mac/mac_params.h"
+#include "phy/channel.h"
+#include "phy/radio.h"
+#include "sim/rng.h"
+#include "sim/timer.h"
+
+namespace ag::mac {
+
+// Implemented by the routing layer.
+class MacListener {
+ public:
+  virtual ~MacListener() = default;
+  virtual void on_packet_received(const net::Packet& packet, net::NodeId from) = 0;
+  // Retry limit exhausted: the link to next_hop is considered broken.
+  virtual void on_unicast_failed(const net::Packet& packet, net::NodeId next_hop) = 0;
+};
+
+class CsmaMac final : public phy::RadioListener {
+ public:
+  CsmaMac(sim::Simulator& sim, phy::Radio& radio, const phy::Channel& channel,
+          net::NodeId self, MacParams params, sim::Rng rng);
+
+  void set_listener(MacListener* listener) { listener_ = listener; }
+
+  // Queues a packet for `mac_dst` (a neighbor or broadcast()). Returns
+  // false when the interface queue is full (packet dropped).
+  bool send(net::NodeId mac_dst, net::Packet packet);
+
+  [[nodiscard]] net::NodeId self() const { return self_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  struct Counters {
+    std::uint64_t unicast_sent{0};
+    std::uint64_t broadcast_sent{0};
+    std::uint64_t acks_sent{0};
+    std::uint64_t retries{0};
+    std::uint64_t unicast_failed{0};
+    std::uint64_t queue_drops{0};
+    std::uint64_t delivered_up{0};
+    std::uint64_t dup_frames_dropped{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // RadioListener:
+  void on_frame_received(const Frame& frame) override;
+  void on_medium_busy() override;
+  void on_medium_idle() override;
+  void on_transmit_complete() override;
+
+ private:
+  enum class State : std::uint8_t {
+    idle,          // queue empty
+    contending,    // waiting for DIFS + backoff countdown
+    tx_data,       // our data frame is on the air
+    tx_ack,        // our ACK is on the air (contention paused)
+    awaiting_ack,  // unicast sent, ACK timer running
+  };
+
+  struct Outgoing {
+    net::NodeId dst;
+    net::Packet packet;
+  };
+
+  void begin_access();
+  void resume_contention();
+  void pause_contention();
+  void on_difs_elapsed();
+  void on_slot_elapsed();
+  void start_transmission();
+  void on_ack_timeout();
+  void transmission_succeeded();
+  void give_up_current();
+  void finish_current_and_continue();
+  void draw_backoff();
+  void send_ack(net::NodeId to, std::uint16_t seq);
+
+  sim::Simulator& sim_;
+  phy::Radio& radio_;
+  const phy::Channel& channel_;
+  net::NodeId self_;
+  MacParams params_;
+  sim::Rng rng_;
+  MacListener* listener_{nullptr};
+
+  std::deque<Outgoing> queue_;
+  State state_{State::idle};
+  std::uint32_t cw_;
+  std::uint32_t backoff_slots_{0};
+  std::uint32_t retries_{0};
+  std::uint16_t next_mac_seq_{0};
+  bool difs_done_{false};
+
+  sim::Timer access_timer_;  // DIFS wait, then per-slot countdown
+  sim::Timer ack_timer_;
+
+  // Last mac_seq accepted per neighbor: drops MAC-level retransmission
+  // duplicates (data received, ACK lost, sender retried).
+  std::unordered_map<net::NodeId, std::uint16_t> last_rx_seq_;
+
+  Counters counters_;
+};
+
+}  // namespace ag::mac
+
+#endif  // AG_MAC_CSMA_MAC_H

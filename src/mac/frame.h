@@ -1,0 +1,29 @@
+// Link-layer frame: a packet plus MAC addressing, or a bare ACK.
+#ifndef AG_MAC_FRAME_H
+#define AG_MAC_FRAME_H
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace ag::mac {
+
+enum class FrameKind : std::uint8_t { data, ack };
+
+struct Frame {
+  FrameKind kind{FrameKind::data};
+  net::NodeId mac_src;
+  net::NodeId mac_dst;       // broadcast() for link broadcasts
+  std::uint16_t mac_seq{0};  // per-sender counter: ACK matching + rx dedup
+  net::Packet packet;        // meaningful only for kind == data
+
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    constexpr std::uint32_t kMacDataOverhead = 34;  // 802.11 hdr 24 + LLC 6 + FCS 4
+    constexpr std::uint32_t kAckBytes = 14;
+    return kind == FrameKind::ack ? kAckBytes : kMacDataOverhead + packet.wire_bytes();
+  }
+};
+
+}  // namespace ag::mac
+
+#endif  // AG_MAC_FRAME_H

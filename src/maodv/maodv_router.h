@@ -1,0 +1,157 @@
+// Multicast AODV (IETF draft-05 multicast operation, paper section 3):
+// shared-tree multicast with on-demand joins (RREQ-J / RREP-J / MACT),
+// group leaders emitting periodic group hellos, downstream-initiated tree
+// repair, partition handling with leader delegation, and tree merging when
+// two leaders discover each other. Implements the gossip RoutingAdapter so
+// Anonymous Gossip can layer on top without knowing MAODV internals.
+#ifndef AG_MAODV_MAODV_ROUTER_H
+#define AG_MAODV_MAODV_ROUTER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aodv/aodv_router.h"
+#include "gossip/routing_adapter.h"
+#include "maodv/messages.h"
+#include "maodv/multicast_route_table.h"
+#include "maodv/params.h"
+#include "net/data.h"
+
+namespace ag::maodv {
+
+class MaodvRouter : public aodv::AodvRouter, public gossip::RoutingAdapter {
+ public:
+  MaodvRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId self,
+              aodv::AodvParams aodv_params, MaodvParams maodv_params, sim::Rng rng);
+
+  void start() override;
+
+  // Wires the gossip layer (or any observer); also routes gossip-layer
+  // unicast payloads delivered to this node into the observer.
+  void set_observer(gossip::RouterObserver* observer);
+
+  // --- membership / data API (used by applications) ---
+  void join_group(net::GroupId group);
+  void leave_group(net::GroupId group);
+  // Multicasts one data packet to the group; returns its sequence number.
+  std::uint32_t send_multicast(net::GroupId group, std::uint16_t payload_bytes);
+
+  [[nodiscard]] const GroupEntry* group_entry(net::GroupId group) const {
+    return mrt_.find(group);
+  }
+  [[nodiscard]] const MaodvParams& maodv_params() const { return mparams_; }
+
+  struct McastCounters {
+    std::uint64_t joins_started{0};
+    std::uint64_t joins_completed{0};
+    std::uint64_t leaders_elected{0};
+    std::uint64_t repairs_started{0};
+    std::uint64_t repairs_succeeded{0};
+    std::uint64_t partitions{0};
+    std::uint64_t merges_initiated{0};
+    std::uint64_t grph_sent{0};
+    std::uint64_t grph_forwarded{0};
+    std::uint64_t mact_sent{0};
+    std::uint64_t prunes_sent{0};
+    std::uint64_t data_originated{0};
+    std::uint64_t data_forwarded{0};
+    std::uint64_t data_delivered{0};
+    std::uint64_t data_rejected_off_tree{0};
+    std::uint64_t data_duplicates{0};
+  };
+  [[nodiscard]] const McastCounters& mcast_counters() const { return mcounters_; }
+
+  // --- gossip::RoutingAdapter ---
+  [[nodiscard]] net::NodeId self() const override { return AodvRouter::self(); }
+  [[nodiscard]] bool is_member(net::GroupId group) const override;
+  [[nodiscard]] bool on_tree(net::GroupId group) const override;
+  [[nodiscard]] std::vector<net::NodeId> tree_neighbors(net::GroupId group) const override;
+  void unicast(net::NodeId dest, net::Payload payload) override;
+  void send_to_neighbor(net::NodeId neighbor, net::Payload payload) override {
+    AodvRouter::send_to_neighbor(neighbor, std::move(payload));
+  }
+  void route_hint(net::NodeId dest, net::NodeId via_neighbor, std::uint8_t hops) override {
+    AodvRouter::route_hint(dest, via_neighbor, hops);
+  }
+  [[nodiscard]] std::uint8_t route_hops(net::NodeId dest) const override;
+
+ protected:
+  bool try_answer_join_rreq(const aodv::RreqMsg& rreq, net::NodeId from) override;
+  void handle_join_rrep(const aodv::RrepMsg& rrep, net::NodeId from) override;
+  void handle_multicast_packet(const net::Packet& packet, net::NodeId from) override;
+  void on_neighbor_lost(net::NodeId neighbor) override;
+
+ private:
+  struct JoinCandidate {
+    net::NodeId via{net::NodeId::invalid()};
+    net::NodeId responder{net::NodeId::invalid()};
+    net::NodeId leader{net::NodeId::invalid()};
+    net::SeqNo group_seq;
+    std::uint16_t total_hops_to_leader{GroupEntry::kUnknownHops};
+    std::uint8_t hops_to_responder{0};
+    bool responder_is_member{false};
+    bool valid{false};
+  };
+  struct JoinAttempt {
+    std::uint32_t attempts{0};
+    bool repair{false};
+    net::NodeId merge_target{net::NodeId::invalid()};  // valid during merges
+    JoinCandidate best;
+    std::unique_ptr<sim::Timer> timer;
+  };
+  struct GraftCandidate {
+    net::NodeId via{net::NodeId::invalid()};
+    sim::SimTime expires;
+  };
+
+  void start_join(net::GroupId group, bool repair,
+                  net::NodeId merge_target = net::NodeId::invalid());
+  void join_wait_expired(net::GroupId group);
+  void finish_join_success(net::GroupId group, JoinAttempt& attempt);
+  void become_leader(net::GroupId group);
+  void handle_partition(net::GroupId group);
+  void send_mact(net::NodeId to, net::GroupId group, net::NodeId origin,
+                 MactMsg::Flag flag, std::uint8_t hop_count = 0);
+  void process_mact(const MactMsg& mact, net::NodeId from);
+  void process_grph(const net::Packet& packet, const GrphMsg& grph, net::NodeId from);
+  void process_tree_beat(const GrphMsg& beat, net::NodeId from);
+  void process_data(const net::Packet& packet, const net::MulticastData& data,
+                    net::NodeId from);
+  void emit_group_hellos();
+  void check_group_liveness();
+  void maybe_self_prune(net::GroupId group);
+  void initiate_merge(net::GroupId group, net::NodeId other_leader);
+  void activate_hop(GroupEntry& entry, net::NodeId hop, bool upstream,
+                    std::uint16_t member_distance_hint);
+  void deactivate_hop(GroupEntry& entry, net::NodeId hop);
+  bool remember_data(const net::MsgId& id);
+  [[nodiscard]] static std::uint64_t graft_key(net::GroupId g, net::NodeId origin) {
+    return (static_cast<std::uint64_t>(g.value()) << 32) | origin.value();
+  }
+
+  MaodvParams mparams_;
+  MulticastRouteTable mrt_;
+  gossip::RouterObserver* observer_{nullptr};
+
+  std::unordered_map<net::GroupId, JoinAttempt> joins_;
+  std::unordered_map<std::uint64_t, GraftCandidate> grafts_;
+  std::unordered_map<net::GroupId, std::uint32_t> next_data_seq_;
+  // GRPH dedup: per group and leader, freshest sequence seen (flood and
+  // tree-scoped beats tracked separately).
+  std::unordered_map<net::GroupId, std::unordered_map<net::NodeId, net::SeqNo>> grph_seen_;
+  std::unordered_map<net::GroupId, std::unordered_map<net::NodeId, net::SeqNo>> tree_beat_seen_;
+  std::unordered_map<net::GroupId, sim::SimTime> last_merge_attempt_;
+  std::unordered_map<std::uint64_t, sim::SimTime> corrective_prune_at_;
+  std::unordered_set<net::MsgId> seen_data_;
+  std::deque<net::MsgId> seen_data_order_;
+  sim::PeriodicTimer grph_timer_;
+  sim::PeriodicTimer liveness_timer_;
+  McastCounters mcounters_;
+};
+
+}  // namespace ag::maodv
+
+#endif  // AG_MAODV_MAODV_ROUTER_H

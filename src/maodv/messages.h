@@ -1,0 +1,44 @@
+// MAODV-specific control messages (multicast tree activation and group
+// hello). Join RREQ/RREP reuse the extended AODV messages.
+#ifndef AG_MAODV_MESSAGES_H
+#define AG_MAODV_MESSAGES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace ag::maodv {
+
+// Multicast activation. Unicast hop-by-hop along a path selected from join
+// RREPs (J), upstream to leave the tree (P), or downstream to delegate
+// group leadership after a partition (GL).
+struct MactMsg {
+  enum class Flag : std::uint8_t { join, prune, group_leader };
+
+  net::GroupId group;
+  net::NodeId origin;  // joining/pruning node (join: the RREQ originator)
+  Flag flag{Flag::join};
+  std::uint8_t hop_count{0};
+};
+
+// Group hello. Two propagation modes share this message:
+//  - network-wide flood (tree_scoped = false): leader discovery, distance
+//    estimation and partition/merge detection, as in the draft;
+//  - tree-scoped beat (tree_scoped = true): travels strictly along
+//    activated parent->child edges. `tree_children` lists the sender's
+//    activated next hops, so a receiver only treats the copy as proof of
+//    a live tree path if its parent actually lists it as a child —
+//    one-sided (asymmetric) tree edges therefore time out and repair.
+struct GrphMsg {
+  net::GroupId group;
+  net::NodeId leader;
+  net::SeqNo group_seq;
+  std::uint16_t hop_count{0};
+  bool tree_scoped{false};
+  std::vector<net::NodeId> tree_children;
+};
+
+}  // namespace ag::maodv
+
+#endif  // AG_MAODV_MESSAGES_H

@@ -1,0 +1,74 @@
+#include "maodv/multicast_route_table.h"
+
+#include <algorithm>
+
+namespace ag::maodv {
+
+MulticastNextHop* GroupEntry::find_hop(net::NodeId id) {
+  auto it = std::find_if(next_hops.begin(), next_hops.end(),
+                         [&](const MulticastNextHop& h) { return h.id == id; });
+  return it == next_hops.end() ? nullptr : &*it;
+}
+
+const MulticastNextHop* GroupEntry::find_hop(net::NodeId id) const {
+  auto it = std::find_if(next_hops.begin(), next_hops.end(),
+                         [&](const MulticastNextHop& h) { return h.id == id; });
+  return it == next_hops.end() ? nullptr : &*it;
+}
+
+MulticastNextHop& GroupEntry::add_or_get_hop(net::NodeId id) {
+  if (MulticastNextHop* h = find_hop(id)) return *h;
+  next_hops.push_back(MulticastNextHop{id});
+  return next_hops.back();
+}
+
+bool GroupEntry::remove_hop(net::NodeId id) {
+  auto it = std::find_if(next_hops.begin(), next_hops.end(),
+                         [&](const MulticastNextHop& h) { return h.id == id; });
+  if (it == next_hops.end()) return false;
+  next_hops.erase(it);
+  return true;
+}
+
+std::size_t GroupEntry::enabled_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      next_hops.begin(), next_hops.end(),
+      [](const MulticastNextHop& h) { return h.enabled; }));
+}
+
+std::vector<net::NodeId> GroupEntry::enabled_hops() const {
+  std::vector<net::NodeId> out;
+  for (const MulticastNextHop& h : next_hops) {
+    if (h.enabled) out.push_back(h.id);
+  }
+  return out;
+}
+
+net::NodeId GroupEntry::upstream() const {
+  for (const MulticastNextHop& h : next_hops) {
+    if (h.enabled && h.upstream) return h.id;
+  }
+  return net::NodeId::invalid();
+}
+
+void GroupEntry::clear_upstream_flags() {
+  for (MulticastNextHop& h : next_hops) h.upstream = false;
+}
+
+GroupEntry& MulticastRouteTable::get_or_create(net::GroupId group) {
+  auto [it, inserted] = entries_.try_emplace(group);
+  if (inserted) it->second.group = group;
+  return it->second;
+}
+
+GroupEntry* MulticastRouteTable::find(net::GroupId group) {
+  auto it = entries_.find(group);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const GroupEntry* MulticastRouteTable::find(net::GroupId group) const {
+  auto it = entries_.find(group);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ag::maodv

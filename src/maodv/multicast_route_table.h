@@ -1,0 +1,77 @@
+// The Multicast Route Table (paper section 3): per-group leader identity,
+// group sequence number, hop count to the leader, and the activated /
+// potential next hops that form this node's slice of the multicast tree.
+#ifndef AG_MAODV_MULTICAST_ROUTE_TABLE_H
+#define AG_MAODV_MULTICAST_ROUTE_TABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace ag::maodv {
+
+struct MulticastNextHop {
+  net::NodeId id;
+  bool enabled{false};   // activated via MACT (paper's "enabled flag")
+  bool upstream{false};  // toward the group leader
+};
+
+enum class JoinState : std::uint8_t { none, joining, repairing };
+
+struct GroupEntry {
+  net::GroupId group;
+  net::NodeId leader{net::NodeId::invalid()};
+  net::SeqNo group_seq;
+  bool seq_known{false};
+  std::uint16_t hops_to_leader{kUnknownHops};
+  bool is_member{false};
+  bool is_leader{false};
+  JoinState join_state{JoinState::none};
+  std::vector<MulticastNextHop> next_hops;
+  sim::SimTime last_group_hello;
+
+  static constexpr std::uint16_t kUnknownHops = 0xFFFF;
+
+  [[nodiscard]] MulticastNextHop* find_hop(net::NodeId id);
+  [[nodiscard]] const MulticastNextHop* find_hop(net::NodeId id) const;
+  MulticastNextHop& add_or_get_hop(net::NodeId id);
+  // Returns true if the hop existed (enabled or not).
+  bool remove_hop(net::NodeId id);
+
+  [[nodiscard]] std::size_t enabled_count() const;
+  [[nodiscard]] std::vector<net::NodeId> enabled_hops() const;
+  // The single activated upstream hop, or invalid() when none (leader or
+  // detached node).
+  [[nodiscard]] net::NodeId upstream() const;
+  void clear_upstream_flags();
+
+  // A node is on the tree when it is the leader or has at least one
+  // activated branch.
+  [[nodiscard]] bool on_tree() const { return is_leader || enabled_count() > 0; }
+  // Leaf routers that are neither member nor leader must prune themselves.
+  [[nodiscard]] bool should_self_prune() const {
+    return !is_member && !is_leader && enabled_count() <= 1 && !next_hops.empty();
+  }
+};
+
+class MulticastRouteTable {
+ public:
+  GroupEntry& get_or_create(net::GroupId group);
+  [[nodiscard]] GroupEntry* find(net::GroupId group);
+  [[nodiscard]] const GroupEntry* find(net::GroupId group) const;
+  void erase(net::GroupId group) { entries_.erase(group); }
+
+  [[nodiscard]] auto begin() { return entries_.begin(); }
+  [[nodiscard]] auto end() { return entries_.end(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<net::GroupId, GroupEntry> entries_;
+};
+
+}  // namespace ag::maodv
+
+#endif  // AG_MAODV_MULTICAST_ROUTE_TABLE_H

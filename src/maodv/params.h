@@ -1,0 +1,35 @@
+// MAODV constants. Paper-pinned: group hello interval 5 s (section 5.1).
+#ifndef AG_MAODV_PARAMS_H
+#define AG_MAODV_PARAMS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ag::maodv {
+
+struct MaodvParams {
+  sim::Duration group_hello_interval{sim::Duration::ms(5000)};
+  // Join: attempts = 1 + join_retries; first node to exhaust them becomes
+  // the group leader (draft behaviour for the first member).
+  std::uint32_t join_retries{2};
+  sim::Duration join_wait{sim::Duration::ms(750)};
+  std::uint32_t repair_retries{2};
+  sim::Duration repair_wait{sim::Duration::ms(750)};
+  // How long a forwarded join RREP's upstream candidate stays usable.
+  sim::Duration graft_candidate_life{sim::Duration::ms(4000)};
+  // Members that miss this many consecutive group hellos assume a silent
+  // partition and start a repair.
+  std::uint32_t allowed_group_hello_loss{3};
+  std::size_t data_dedup_capacity{8192};
+  sim::Duration merge_backoff{sim::Duration::ms(10000)};
+  std::uint8_t grph_ttl{32};
+  std::uint8_t join_ttl{16};
+  std::uint8_t repair_ttl{16};
+  std::uint8_t data_ttl{32};
+};
+
+}  // namespace ag::maodv
+
+#endif  // AG_MAODV_PARAMS_H

@@ -1,0 +1,29 @@
+#include "mobility/highway.h"
+
+#include <cmath>
+
+namespace ag::mobility {
+
+HighwayMobility::HighwayMobility(std::size_t node_count, const HighwayConfig& config,
+                                 sim::Rng rng)
+    : config_{config} {
+  cars_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const std::size_t lane = i % config.lanes;
+    const double direction = (lane % 2 == 0) ? 1.0 : -1.0;
+    cars_.push_back(Car{
+        rng.uniform(0.0, config.length_m),
+        direction * rng.uniform(config.min_speed_mps, config.max_speed_mps),
+        static_cast<double>(lane) * config.lane_spacing_m,
+    });
+  }
+}
+
+Vec2 HighwayMobility::position_of(std::size_t node, sim::SimTime at) const {
+  const Car& car = cars_[node];
+  double x = std::fmod(car.start_x + car.speed * at.to_seconds(), config_.length_m);
+  if (x < 0.0) x += config_.length_m;
+  return Vec2{x, car.lane_y};
+}
+
+}  // namespace ag::mobility

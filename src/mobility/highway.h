@@ -1,0 +1,43 @@
+// Highway mobility for the vehicular example from the paper's introduction
+// ("communication between automobiles on highways"): nodes travel along
+// parallel lanes at constant per-node speeds and wrap around at the end of
+// the modeled stretch, so relative positions churn continuously.
+#ifndef AG_MOBILITY_HIGHWAY_H
+#define AG_MOBILITY_HIGHWAY_H
+
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "sim/rng.h"
+
+namespace ag::mobility {
+
+struct HighwayConfig {
+  double length_m{1000.0};
+  double lane_spacing_m{5.0};
+  std::size_t lanes{2};
+  double min_speed_mps{20.0};
+  double max_speed_mps{35.0};
+};
+
+class HighwayMobility final : public MobilityModel {
+ public:
+  HighwayMobility(std::size_t node_count, const HighwayConfig& config, sim::Rng rng);
+
+  [[nodiscard]] std::size_t node_count() const override { return cars_.size(); }
+  [[nodiscard]] Vec2 position_of(std::size_t node, sim::SimTime at) const override;
+
+ private:
+  struct Car {
+    double start_x;
+    double speed;  // signed: even lanes travel +x, odd lanes -x
+    double lane_y;
+  };
+
+  HighwayConfig config_;
+  std::vector<Car> cars_;
+};
+
+}  // namespace ag::mobility
+
+#endif  // AG_MOBILITY_HIGHWAY_H

@@ -1,0 +1,25 @@
+// Interface for node mobility. A model owns the trajectories of all nodes
+// in a run and answers position queries at the current simulation time.
+// Models are closed-form between waypoints, so no per-tick events are
+// needed; waypoint changes are scheduled on the simulator.
+#ifndef AG_MOBILITY_MOBILITY_MODEL_H
+#define AG_MOBILITY_MOBILITY_MODEL_H
+
+#include <cstddef>
+
+#include "mobility/vec2.h"
+#include "sim/time.h"
+
+namespace ag::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+  [[nodiscard]] virtual Vec2 position_of(std::size_t node, sim::SimTime at) const = 0;
+};
+
+}  // namespace ag::mobility
+
+#endif  // AG_MOBILITY_MOBILITY_MODEL_H

@@ -1,0 +1,64 @@
+#include "mobility/random_waypoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ag::mobility {
+namespace {
+
+// A uniform speed draw with min_speed = 0 (the paper's setting) can come out
+// arbitrarily close to zero, making a leg effectively infinite. Clamping at
+// 1 mm/s keeps legs finite without visibly changing the mobility pattern.
+constexpr double kMinEffectiveSpeed = 1e-3;
+
+}  // namespace
+
+RandomWaypoint::RandomWaypoint(sim::Simulator& sim, std::size_t node_count,
+                               const RandomWaypointConfig& config, sim::Rng rng)
+    : sim_{sim}, config_{config}, rng_{rng} {
+  assert(config.max_speed_mps >= config.min_speed_mps);
+  legs_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const Vec2 start = random_point();
+    legs_.push_back(Leg{start, start, sim::SimTime::zero(), sim::SimTime::zero()});
+  }
+  // First legs begin at t = 0, matching the paper (nodes placed randomly,
+  // then immediately travel toward a random spot).
+  for (std::size_t i = 0; i < node_count; ++i) {
+    start_next_leg(i);
+  }
+}
+
+Vec2 RandomWaypoint::random_point() {
+  return Vec2{rng_.uniform(0.0, config_.area_width_m),
+              rng_.uniform(0.0, config_.area_height_m)};
+}
+
+void RandomWaypoint::start_next_leg(std::size_t node) {
+  Leg& leg = legs_[node];
+  const Vec2 from = leg.to;  // rest position at end of previous leg
+  const Vec2 to = random_point();
+  const double speed = std::max(
+      kMinEffectiveSpeed, rng_.uniform(config_.min_speed_mps, config_.max_speed_mps));
+  const double travel_s = distance(from, to) / speed;
+  const double pause_s = rng_.uniform(0.0, config_.max_pause_s);
+
+  leg.from = from;
+  leg.to = to;
+  leg.depart = sim_.now();
+  leg.arrive = sim_.now() + sim::Duration::seconds(travel_s);
+
+  sim_.schedule_at(leg.arrive + sim::Duration::seconds(pause_s),
+                   [this, node] { start_next_leg(node); });
+}
+
+Vec2 RandomWaypoint::position_of(std::size_t node, sim::SimTime at) const {
+  const Leg& leg = legs_[node];
+  if (at <= leg.depart) return leg.from;
+  if (at >= leg.arrive) return leg.to;
+  const double span = (leg.arrive - leg.depart).to_seconds();
+  const double frac = span > 0.0 ? (at - leg.depart).to_seconds() / span : 1.0;
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
+}  // namespace ag::mobility

@@ -1,0 +1,55 @@
+// Random-waypoint mobility (the paper's model, section 5.1): each node
+// starts at a uniform random position, repeatedly picks a uniform random
+// destination in the area, travels at a speed drawn uniformly from
+// [min_speed, max_speed], then rests for a pause drawn uniformly from
+// [0, max_pause] before continuing.
+#ifndef AG_MOBILITY_RANDOM_WAYPOINT_H
+#define AG_MOBILITY_RANDOM_WAYPOINT_H
+
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ag::mobility {
+
+struct RandomWaypointConfig {
+  double area_width_m{200.0};
+  double area_height_m{200.0};
+  double min_speed_mps{0.0};
+  double max_speed_mps{1.0};
+  double max_pause_s{80.0};
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  // Schedules waypoint-change events on `sim`; must outlive the run.
+  RandomWaypoint(sim::Simulator& sim, std::size_t node_count,
+                 const RandomWaypointConfig& config, sim::Rng rng);
+
+  [[nodiscard]] std::size_t node_count() const override { return legs_.size(); }
+  [[nodiscard]] Vec2 position_of(std::size_t node, sim::SimTime at) const override;
+
+ private:
+  // One travel leg: linear motion from `from` (at depart) to `to`
+  // (at arrive), then at rest until the next leg replaces this one.
+  struct Leg {
+    Vec2 from;
+    Vec2 to;
+    sim::SimTime depart;
+    sim::SimTime arrive;
+  };
+
+  void start_next_leg(std::size_t node);
+  [[nodiscard]] Vec2 random_point();
+
+  sim::Simulator& sim_;
+  RandomWaypointConfig config_;
+  sim::Rng rng_;
+  std::vector<Leg> legs_;
+};
+
+}  // namespace ag::mobility
+
+#endif  // AG_MOBILITY_RANDOM_WAYPOINT_H

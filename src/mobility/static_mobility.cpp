@@ -1,0 +1,26 @@
+#include "mobility/static_mobility.h"
+
+namespace ag::mobility {
+
+StaticMobility StaticMobility::line(std::size_t n, double spacing_m) {
+  std::vector<Vec2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(Vec2{static_cast<double>(i) * spacing_m, 0.0});
+  }
+  return StaticMobility{std::move(positions)};
+}
+
+StaticMobility StaticMobility::grid(std::size_t cols, std::size_t rows, double spacing_m) {
+  std::vector<Vec2> positions;
+  positions.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      positions.push_back(
+          Vec2{static_cast<double>(c) * spacing_m, static_cast<double>(r) * spacing_m});
+    }
+  }
+  return StaticMobility{std::move(positions)};
+}
+
+}  // namespace ag::mobility

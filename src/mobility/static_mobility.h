@@ -1,0 +1,35 @@
+// Immobile nodes at fixed positions; used by unit tests and by examples
+// that need hand-built topologies (lines, grids, the paper's Fig. 1 tree).
+#ifndef AG_MOBILITY_STATIC_MOBILITY_H
+#define AG_MOBILITY_STATIC_MOBILITY_H
+
+#include <utility>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+
+namespace ag::mobility {
+
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(std::vector<Vec2> positions)
+      : positions_{std::move(positions)} {}
+
+  [[nodiscard]] std::size_t node_count() const override { return positions_.size(); }
+  [[nodiscard]] Vec2 position_of(std::size_t node, sim::SimTime) const override {
+    return positions_[node];
+  }
+
+  void move_to(std::size_t node, Vec2 p) { positions_[node] = p; }
+
+  // Convenience builders for common test topologies.
+  static StaticMobility line(std::size_t n, double spacing_m);
+  static StaticMobility grid(std::size_t cols, std::size_t rows, double spacing_m);
+
+ private:
+  std::vector<Vec2> positions_;
+};
+
+}  // namespace ag::mobility
+
+#endif  // AG_MOBILITY_STATIC_MOBILITY_H

@@ -1,0 +1,25 @@
+// Minimal 2-D vector for node positions (meters).
+#ifndef AG_MOBILITY_VEC2_H
+#define AG_MOBILITY_VEC2_H
+
+#include <cmath>
+
+namespace ag::mobility {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace ag::mobility
+
+#endif  // AG_MOBILITY_VEC2_H

@@ -1,0 +1,43 @@
+// Application-level multicast data. The same struct flows through the
+// original multicast path and inside gossip replies, so recovery is
+// indistinguishable from normal delivery above the gossip layer.
+#ifndef AG_NET_DATA_H
+#define AG_NET_DATA_H
+
+#include <cstdint>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace ag::net {
+
+struct MulticastData {
+  GroupId group;
+  NodeId origin;            // sending group member
+  std::uint32_t seq{0};     // per-origin sequence number, starts at 0
+  std::uint16_t payload_bytes{64};
+  sim::SimTime sent_at;     // origin timestamp (latency accounting)
+  std::uint8_t hops{0};     // hops traveled so far (member-cache distance hint)
+};
+
+// Identifies one multicast message: sequence numbers are per-origin
+// (paper section 4.4: "the sequence number is a 2 tuple including the
+// sender address and a sequence number").
+struct MsgId {
+  NodeId origin;
+  std::uint32_t seq{0};
+
+  constexpr auto operator<=>(const MsgId&) const = default;
+};
+
+}  // namespace ag::net
+
+template <>
+struct std::hash<ag::net::MsgId> {
+  std::size_t operator()(const ag::net::MsgId& m) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(m.origin.value()) << 32) | m.seq);
+  }
+};
+
+#endif  // AG_NET_DATA_H

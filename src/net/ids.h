@@ -1,0 +1,69 @@
+// Strongly typed identifiers shared by every layer of the stack.
+#ifndef AG_NET_IDS_H
+#define AG_NET_IDS_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ag::net {
+
+namespace detail {
+
+// 32-bit id with a distinct C++ type per Tag so a GroupId can never be
+// passed where a NodeId is expected.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  explicit constexpr Id(std::uint32_t value) : value_{value} {}
+
+  static constexpr Id invalid() { return Id{0xFFFFFFFFu}; }
+  static constexpr Id broadcast() { return Id{0xFFFFFFFEu}; }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_valid() const { return *this != invalid(); }
+  [[nodiscard]] constexpr bool is_broadcast() const { return *this == broadcast(); }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  std::uint32_t value_{0xFFFFFFFFu};
+};
+
+}  // namespace detail
+
+using NodeId = detail::Id<struct NodeIdTag>;
+using GroupId = detail::Id<struct GroupIdTag>;
+
+// AODV destination sequence number with the draft's circular "fresher than"
+// comparison (signed 32-bit difference, robust to wraparound).
+class SeqNo {
+ public:
+  constexpr SeqNo() = default;
+  explicit constexpr SeqNo(std::uint32_t value) : value_{value} {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool fresher_than(SeqNo other) const {
+    return static_cast<std::int32_t>(value_ - other.value_) > 0;
+  }
+  [[nodiscard]] constexpr bool at_least_as_fresh_as(SeqNo other) const {
+    return static_cast<std::int32_t>(value_ - other.value_) >= 0;
+  }
+  constexpr SeqNo next() const { return SeqNo{value_ + 1}; }
+  constexpr bool operator==(const SeqNo&) const = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+}  // namespace ag::net
+
+template <typename Tag>
+struct std::hash<ag::net::detail::Id<Tag>> {
+  std::size_t operator()(const ag::net::detail::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+#endif  // AG_NET_IDS_H

@@ -1,0 +1,50 @@
+#include "net/packet.h"
+
+namespace ag::net {
+namespace {
+
+constexpr std::uint32_t kIpHeaderBytes = 20;
+
+std::uint32_t payload_bytes(const Payload& p) {
+  return std::visit(
+      overloaded{
+          [](const MulticastData& d) -> std::uint32_t {
+            return 8u + d.payload_bytes;  // group/seq encapsulation + payload
+          },
+          [](const aodv::RreqMsg& m) -> std::uint32_t {
+            return 24u + (m.join || m.repair ? 8u : 0u) + (m.mgl_present ? 4u : 0u);
+          },
+          [](const aodv::RrepMsg& m) -> std::uint32_t {
+            return 20u + (m.join ? 16u : 0u);
+          },
+          [](const aodv::RerrMsg& m) -> std::uint32_t {
+            return 4u + 8u * static_cast<std::uint32_t>(m.unreachable.size());
+          },
+          [](const aodv::HelloMsg&) -> std::uint32_t { return 12u; },
+          [](const maodv::MactMsg&) -> std::uint32_t { return 12u; },
+          [](const maodv::GrphMsg& m) -> std::uint32_t {
+            return 16u + 4u * static_cast<std::uint32_t>(m.tree_children.size());
+          },
+          [](const gossip::GossipMsg& m) -> std::uint32_t {
+            std::uint32_t bytes = 12u + 8u * static_cast<std::uint32_t>(m.lost.size()) +
+                                  8u * static_cast<std::uint32_t>(m.expected.size());
+            for (const net::MulticastData& d : m.pushed) bytes += 8u + d.payload_bytes;
+            return bytes;
+          },
+          [](const gossip::GossipReplyMsg& m) -> std::uint32_t {
+            return 12u + 8u + m.data.payload_bytes;
+          },
+          [](const gossip::NearestMemberMsg&) -> std::uint32_t { return 8u; },
+          [](const odmrp::JoinQueryMsg&) -> std::uint32_t { return 16u; },
+          [](const odmrp::JoinReplyMsg& m) -> std::uint32_t {
+            return 8u + 12u * static_cast<std::uint32_t>(m.entries.size());
+          },
+      },
+      p);
+}
+
+}  // namespace
+
+std::uint32_t Packet::wire_bytes() const { return kIpHeaderBytes + payload_bytes(payload); }
+
+}  // namespace ag::net

@@ -1,0 +1,60 @@
+// The network-layer packet: src/dst plus a typed payload. std::variant
+// instead of byte serialization — the simulation never leaves one address
+// space, and exhaustive std::visit gives compile-time coverage of every
+// message type (adding a message without handling it breaks the build).
+#ifndef AG_NET_PACKET_H
+#define AG_NET_PACKET_H
+
+#include <cstdint>
+#include <variant>
+
+#include "aodv/messages.h"
+#include "gossip/messages.h"
+#include "maodv/messages.h"
+#include "net/data.h"
+#include "net/ids.h"
+#include "odmrp/messages.h"
+
+namespace ag::net {
+
+using Payload =
+    std::variant<MulticastData, aodv::RreqMsg, aodv::RrepMsg, aodv::RerrMsg,
+                 aodv::HelloMsg, maodv::MactMsg, maodv::GrphMsg, gossip::GossipMsg,
+                 gossip::GossipReplyMsg, gossip::NearestMemberMsg,
+                 odmrp::JoinQueryMsg, odmrp::JoinReplyMsg>;
+
+struct Packet {
+  NodeId src;
+  NodeId dst{NodeId::broadcast()};  // final destination; broadcast for floods
+  std::uint8_t ttl{32};
+  Payload payload;
+
+  template <typename T>
+  [[nodiscard]] bool is() const {
+    return std::holds_alternative<T>(payload);
+  }
+  template <typename T>
+  [[nodiscard]] const T* get_if() const {
+    return std::get_if<T>(&payload);
+  }
+  template <typename T>
+  [[nodiscard]] T* get_if() {
+    return std::get_if<T>(&payload);
+  }
+
+  // Bytes this packet would occupy on the air (IP header + payload);
+  // drives MAC airtime and therefore congestion behaviour.
+  [[nodiscard]] std::uint32_t wire_bytes() const;
+};
+
+// Helper for exhaustive std::visit over Payload.
+template <class... Ts>
+struct overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+overloaded(Ts...) -> overloaded<Ts...>;
+
+}  // namespace ag::net
+
+#endif  // AG_NET_PACKET_H

@@ -1,0 +1,38 @@
+// ODMRP control messages (Lee, Gerla, Chiang — "On-Demand Multicast
+// Routing Protocol", WCNC 1999): the paper's section 5.5 names ODMRP as
+// the next protocol Anonymous Gossip should layer over.
+#ifndef AG_ODMRP_MESSAGES_H
+#define AG_ODMRP_MESSAGES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.h"
+
+namespace ag::odmrp {
+
+// Join Query: flooded by active sources every refresh interval. Receivers
+// remember the previous hop as their path back toward the source.
+struct JoinQueryMsg {
+  net::GroupId group;
+  net::NodeId source;
+  std::uint32_t query_seq{0};  // dedups the flood, versions the soft state
+  std::uint8_t hop_count{0};
+};
+
+// Join Reply: broadcast by members (and relayed by nodes finding
+// themselves listed as a next hop), establishing the forwarding group.
+struct JoinReplyMsg {
+  struct Entry {
+    net::NodeId source;
+    net::NodeId next_hop;  // this neighbor becomes a forwarding-group node
+    std::uint32_t query_seq{0};
+  };
+  net::GroupId group;
+  net::NodeId sender;
+  std::vector<Entry> entries;
+};
+
+}  // namespace ag::odmrp
+
+#endif  // AG_ODMRP_MESSAGES_H

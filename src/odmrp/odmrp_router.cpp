@@ -1,0 +1,270 @@
+#include "odmrp/odmrp_router.h"
+
+#include <algorithm>
+
+namespace ag::odmrp {
+namespace {
+
+std::uint64_t query_key(net::GroupId group, net::NodeId source) {
+  return (static_cast<std::uint64_t>(group.value()) << 32) | source.value();
+}
+
+}  // namespace
+
+OdmrpRouter::OdmrpRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId self,
+                         aodv::AodvParams aodv_params, OdmrpParams odmrp_params,
+                         sim::Rng rng)
+    : AodvRouter{sim, mac, self, aodv_params, rng},
+      oparams_{odmrp_params},
+      refresh_timer_{sim, [this] { refresh_tick(); }} {}
+
+void OdmrpRouter::start() {
+  AodvRouter::start();
+  refresh_timer_.start(oparams_.refresh_interval, &rng(), oparams_.refresh_interval / 8);
+}
+
+void OdmrpRouter::set_observer(gossip::RouterObserver* observer) {
+  observer_ = observer;
+  if (observer_ != nullptr) {
+    set_local_deliver([this](const net::Packet& pkt, net::NodeId from) {
+      observer_->on_gossip_packet(pkt, from);
+    });
+  }
+}
+
+OdmrpRouter::GroupState& OdmrpRouter::state_for(net::GroupId group) {
+  return groups_[group];
+}
+
+bool OdmrpRouter::is_forwarding(net::GroupId group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.forwarding_until >= simulator().now();
+}
+
+std::vector<net::NodeId> OdmrpRouter::mesh_neighbors(net::GroupId group) const {
+  std::vector<net::NodeId> out;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return out;
+  const sim::SimTime now = simulator().now();
+  for (const auto& [peer, until] : it->second.mesh_peers) {
+    if (until >= now) out.push_back(peer);
+  }
+  return out;
+}
+
+void OdmrpRouter::unicast(net::NodeId dest, net::Payload payload) {
+  net::Packet pkt;
+  pkt.src = self();
+  pkt.dst = dest;
+  pkt.ttl = params().net_ttl;
+  pkt.payload = std::move(payload);
+  send_unicast(std::move(pkt));
+}
+
+std::uint8_t OdmrpRouter::route_hops(net::NodeId dest) const {
+  auto* self_mut = const_cast<OdmrpRouter*>(this);
+  const aodv::RouteEntry* e = self_mut->route_table().find(dest);
+  return e != nullptr && e->valid ? e->hops : 0;
+}
+
+// ------------------------------------------------------------- membership
+
+void OdmrpRouter::join_group(net::GroupId group) {
+  if (!members_.insert(group).second) return;
+  GroupState& gs = state_for(group);
+  gs.member = true;
+  if (observer_ != nullptr) observer_->on_self_membership_changed(group, true);
+  // Answer any queries already flooding so the mesh reaches us quickly.
+  for (const auto& [source, path] : gs.sources) {
+    (void)path;
+    send_reply(group, gs, source);
+  }
+}
+
+void OdmrpRouter::leave_group(net::GroupId group) {
+  if (members_.erase(group) == 0) return;
+  GroupState& gs = state_for(group);
+  gs.member = false;
+  if (observer_ != nullptr) observer_->on_self_membership_changed(group, false);
+  // Soft state simply stops being refreshed and times out.
+}
+
+// ------------------------------------------------------------- source side
+
+std::uint32_t OdmrpRouter::send_multicast(net::GroupId group, std::uint16_t payload_bytes) {
+  GroupState& gs = state_for(group);
+  const bool first_activity = gs.last_data_sent == sim::SimTime::zero();
+  gs.last_data_sent = simulator().now();
+
+  const std::uint32_t seq = gs.next_data_seq++;
+  net::MulticastData data;
+  data.group = group;
+  data.origin = self();
+  data.seq = seq;
+  data.payload_bytes = payload_bytes;
+  data.sent_at = simulator().now();
+  remember_data(net::MsgId{self(), seq});
+  ++ocounters_.data_originated;
+  if (gs.member && observer_ != nullptr) observer_->on_multicast_data(data, self());
+  broadcast_packet(data, oparams_.data_ttl);
+
+  if (first_activity) refresh_tick();  // flood the first Join Query now
+  return seq;
+}
+
+void OdmrpRouter::refresh_tick() {
+  const sim::SimTime now = simulator().now();
+  for (auto& [group, gs] : groups_) {
+    expire_soft_state(group, gs);
+    const bool active_source = gs.last_data_sent != sim::SimTime::zero() &&
+                               now - gs.last_data_sent <= oparams_.source_linger;
+    if (!active_source) continue;
+    JoinQueryMsg query{group, self(), gs.next_query_seq++, 0};
+    ++ocounters_.queries_sent;
+    broadcast_packet(query, oparams_.query_ttl);
+  }
+}
+
+void OdmrpRouter::expire_soft_state(net::GroupId group, GroupState& gs) {
+  const sim::SimTime now = simulator().now();
+  for (auto it = gs.mesh_peers.begin(); it != gs.mesh_peers.end();) {
+    if (it->second < now) {
+      const net::NodeId peer = it->first;
+      it = gs.mesh_peers.erase(it);
+      if (observer_ != nullptr) observer_->on_tree_neighbor_removed(group, peer);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ------------------------------------------------------------- mesh build
+
+void OdmrpRouter::process_query(const net::Packet& packet, const JoinQueryMsg& query,
+                                net::NodeId from) {
+  if (query.source == self()) return;
+  auto [it, inserted] =
+      query_seen_.try_emplace(query_key(query.group, query.source), query.query_seq);
+  if (!inserted) {
+    if (query.query_seq <= it->second) return;  // stale or duplicate flood copy
+    it->second = query.query_seq;
+  }
+  GroupState& gs = state_for(query.group);
+  auto& path = gs.sources[query.source];
+  path.query_seq = query.query_seq;
+  path.upstream = from;
+  // The reverse path doubles as a unicast route to the source — exactly
+  // the "collected at no extra cost" routes cached gossip wants.
+  route_hint(query.source, from, static_cast<std::uint8_t>(query.hop_count + 1));
+
+  if (gs.member) send_reply(query.group, gs, query.source);
+
+  if (packet.ttl > 1) {
+    JoinQueryMsg fwd = query;
+    fwd.hop_count++;
+    ++ocounters_.queries_forwarded;
+    broadcast_jittered(fwd, static_cast<std::uint8_t>(packet.ttl - 1));
+  }
+}
+
+void OdmrpRouter::send_reply(net::GroupId group, GroupState& gs, net::NodeId source) {
+  if (source == self()) return;
+  auto it = gs.sources.find(source);
+  if (it == gs.sources.end()) return;
+  GroupState::SourcePath& path = it->second;
+  if (path.replied_seq >= path.query_seq) return;  // already answered this round
+  if (!path.upstream.is_valid()) return;
+  path.replied_seq = path.query_seq;
+  JoinReplyMsg reply;
+  reply.group = group;
+  reply.sender = self();
+  reply.entries.push_back({source, path.upstream, path.query_seq});
+  ++ocounters_.replies_sent;
+  broadcast_packet(reply, 1);
+}
+
+void OdmrpRouter::process_reply(const JoinReplyMsg& reply, net::NodeId from) {
+  GroupState& gs = state_for(reply.group);
+  // Whoever broadcasts a Join Reply is a member or forwarding-group node:
+  // a live mesh peer for the gossip walk.
+  note_mesh_peer(reply.group, gs, from);
+
+  for (const JoinReplyMsg::Entry& entry : reply.entries) {
+    if (entry.next_hop != self()) continue;
+    // We are on a member-to-source path: join the forwarding group.
+    const bool was_forwarding = gs.forwarding_until >= simulator().now();
+    gs.forwarding_until = simulator().now() + oparams_.fg_timeout;
+    if (!was_forwarding) ++ocounters_.fg_activations;
+    note_mesh_peer(reply.group, gs, from);
+    if (entry.source == self()) continue;  // the chain reached the source
+    // Propagate the reply toward the source along our own reverse path.
+    auto it = gs.sources.find(entry.source);
+    if (it == gs.sources.end() || !it->second.upstream.is_valid()) continue;
+    if (it->second.replied_seq >= entry.query_seq) continue;
+    it->second.replied_seq = entry.query_seq;
+    JoinReplyMsg fwd;
+    fwd.group = reply.group;
+    fwd.sender = self();
+    fwd.entries.push_back({entry.source, it->second.upstream, entry.query_seq});
+    ++ocounters_.replies_sent;
+    broadcast_packet(fwd, 1);
+  }
+}
+
+void OdmrpRouter::note_mesh_peer(net::GroupId group, GroupState& gs, net::NodeId peer) {
+  if (peer == self()) return;
+  const auto until = simulator().now() + oparams_.fg_timeout;
+  auto [it, inserted] = gs.mesh_peers.try_emplace(peer, until);
+  if (!inserted) {
+    it->second = until;
+    return;
+  }
+  if (observer_ != nullptr) observer_->on_tree_neighbor_added(group, peer, 0);
+}
+
+// -------------------------------------------------------------- data path
+
+bool OdmrpRouter::remember_data(const net::MsgId& id) {
+  if (!seen_data_.insert(id).second) return false;
+  seen_data_order_.push_back(id);
+  while (seen_data_order_.size() > oparams_.data_dedup_capacity) {
+    seen_data_.erase(seen_data_order_.front());
+    seen_data_order_.pop_front();
+  }
+  return true;
+}
+
+void OdmrpRouter::process_data(const net::Packet& packet, const net::MulticastData& data,
+                               net::NodeId from) {
+  GroupState& gs = state_for(data.group);
+  if (!remember_data(net::MsgId{data.origin, data.seq})) {
+    ++ocounters_.data_duplicates;
+    return;
+  }
+  // The transmitter is the source or a forwarding-group node: mesh peer.
+  note_mesh_peer(data.group, gs, from);
+  if (gs.member) {
+    ++ocounters_.data_delivered;
+    if (observer_ != nullptr) observer_->on_multicast_data(data, from);
+  }
+  const bool forwarding = gs.forwarding_until >= simulator().now();
+  if (forwarding && packet.ttl > 1) {
+    net::MulticastData fwd = data;
+    fwd.hops++;
+    ++ocounters_.data_forwarded;
+    broadcast_jittered(fwd, static_cast<std::uint8_t>(packet.ttl - 1),
+                       sim::Duration::ms(5));
+  }
+}
+
+void OdmrpRouter::handle_multicast_packet(const net::Packet& packet, net::NodeId from) {
+  std::visit(net::overloaded{
+                 [&](const JoinQueryMsg& q) { process_query(packet, q, from); },
+                 [&](const JoinReplyMsg& r) { process_reply(r, from); },
+                 [&](const net::MulticastData& d) { process_data(packet, d, from); },
+                 [&](const auto&) {},
+             },
+             packet.payload);
+}
+
+}  // namespace ag::odmrp

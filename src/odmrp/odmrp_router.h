@@ -1,0 +1,124 @@
+// ODMRP: mesh-based on-demand multicast. Active sources periodically
+// flood Join Queries; members answer with Join Replies that travel back
+// hop-by-hop, turning the nodes they traverse into the forwarding group.
+// Any forwarding-group node rebroadcasts non-duplicate data, so the mesh
+// offers redundant paths a single tree cannot — at the price of the
+// refresh floods (the trade-off the AG paper discusses in section 2).
+//
+// Derives from AodvRouter for unicast routing (cached gossip and gossip
+// replies need it) and implements gossip::RoutingAdapter so Anonymous
+// Gossip layers over the mesh exactly as it does over the MAODV tree —
+// the generalization the paper's section 5.5 proposes. The "tree
+// neighbors" exposed to the walk are the live mesh peers (neighbors known
+// to be members or forwarding-group nodes).
+#ifndef AG_ODMRP_ODMRP_ROUTER_H
+#define AG_ODMRP_ODMRP_ROUTER_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aodv/aodv_router.h"
+#include "gossip/routing_adapter.h"
+#include "net/data.h"
+#include "odmrp/messages.h"
+#include "odmrp/params.h"
+
+namespace ag::odmrp {
+
+class OdmrpRouter final : public aodv::AodvRouter, public gossip::RoutingAdapter {
+ public:
+  OdmrpRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId self,
+              aodv::AodvParams aodv_params, OdmrpParams odmrp_params, sim::Rng rng);
+
+  void start() override;
+  void set_observer(gossip::RouterObserver* observer);
+
+  void join_group(net::GroupId group);
+  void leave_group(net::GroupId group);
+  std::uint32_t send_multicast(net::GroupId group, std::uint16_t payload_bytes);
+
+  [[nodiscard]] bool is_forwarding(net::GroupId group) const;
+  [[nodiscard]] std::vector<net::NodeId> mesh_neighbors(net::GroupId group) const;
+
+  struct OdmrpCounters {
+    std::uint64_t queries_sent{0};
+    std::uint64_t queries_forwarded{0};
+    std::uint64_t replies_sent{0};
+    std::uint64_t fg_activations{0};
+    std::uint64_t data_originated{0};
+    std::uint64_t data_forwarded{0};
+    std::uint64_t data_delivered{0};
+    std::uint64_t data_duplicates{0};
+  };
+  [[nodiscard]] const OdmrpCounters& odmrp_counters() const { return ocounters_; }
+
+  // --- gossip::RoutingAdapter ---
+  [[nodiscard]] net::NodeId self() const override { return AodvRouter::self(); }
+  [[nodiscard]] bool is_member(net::GroupId group) const override {
+    return members_.contains(group);
+  }
+  [[nodiscard]] bool on_tree(net::GroupId group) const override {
+    return is_member(group) || is_forwarding(group);
+  }
+  [[nodiscard]] std::vector<net::NodeId> tree_neighbors(net::GroupId group) const override {
+    return mesh_neighbors(group);
+  }
+  void unicast(net::NodeId dest, net::Payload payload) override;
+  void send_to_neighbor(net::NodeId neighbor, net::Payload payload) override {
+    AodvRouter::send_to_neighbor(neighbor, std::move(payload));
+  }
+  void route_hint(net::NodeId dest, net::NodeId via_neighbor, std::uint8_t hops) override {
+    AodvRouter::route_hint(dest, via_neighbor, hops);
+  }
+  [[nodiscard]] std::uint8_t route_hops(net::NodeId dest) const override;
+
+ protected:
+  void handle_multicast_packet(const net::Packet& packet, net::NodeId from) override;
+
+ private:
+  struct GroupState {
+    bool member{false};
+    // Per active source: freshest query seq and the neighbor leading back.
+    struct SourcePath {
+      std::uint32_t query_seq{0};
+      net::NodeId upstream{net::NodeId::invalid()};
+      std::uint32_t replied_seq{0};  // last query answered with a JR
+    };
+    std::unordered_map<net::NodeId, SourcePath> sources;
+    sim::SimTime forwarding_until;               // FG_FLAG soft state
+    std::unordered_map<net::NodeId, sim::SimTime> mesh_peers;  // for gossip walks
+    // Source-side state.
+    std::uint32_t next_data_seq{0};
+    std::uint32_t next_query_seq{1};
+    sim::SimTime last_data_sent;
+  };
+
+  void process_query(const net::Packet& packet, const JoinQueryMsg& query,
+                     net::NodeId from);
+  void process_reply(const JoinReplyMsg& reply, net::NodeId from);
+  void process_data(const net::Packet& packet, const net::MulticastData& data,
+                    net::NodeId from);
+  void send_reply(net::GroupId group, GroupState& gs, net::NodeId source);
+  void refresh_tick();
+  void note_mesh_peer(net::GroupId group, GroupState& gs, net::NodeId peer);
+  void expire_soft_state(net::GroupId group, GroupState& gs);
+  bool remember_data(const net::MsgId& id);
+  GroupState& state_for(net::GroupId group);
+
+  OdmrpParams oparams_;
+  gossip::RouterObserver* observer_{nullptr};
+  std::unordered_set<net::GroupId> members_;
+  std::unordered_map<net::GroupId, GroupState> groups_;
+  std::unordered_set<net::MsgId> seen_data_;
+  std::deque<net::MsgId> seen_data_order_;
+  // Flood dedup for queries: (group, source) -> freshest query_seq.
+  std::unordered_map<std::uint64_t, std::uint32_t> query_seen_;
+  sim::PeriodicTimer refresh_timer_;
+  OdmrpCounters ocounters_;
+};
+
+}  // namespace ag::odmrp
+
+#endif  // AG_ODMRP_ODMRP_ROUTER_H

@@ -1,0 +1,25 @@
+// ODMRP timing constants (WCNC '99 defaults, scaled like our AODV ones).
+#ifndef AG_ODMRP_PARAMS_H
+#define AG_ODMRP_PARAMS_H
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace ag::odmrp {
+
+struct OdmrpParams {
+  // Join Query refresh while a source is active.
+  sim::Duration refresh_interval{sim::Duration::ms(3000)};
+  // Forwarding-group membership lifetime (the classic 3x refresh).
+  sim::Duration fg_timeout{sim::Duration::ms(9000)};
+  // A source keeps querying this long after its last data packet.
+  sim::Duration source_linger{sim::Duration::ms(6000)};
+  std::uint8_t query_ttl{32};
+  std::uint8_t data_ttl{32};
+  std::size_t data_dedup_capacity{8192};
+};
+
+}  // namespace ag::odmrp
+
+#endif  // AG_ODMRP_PARAMS_H

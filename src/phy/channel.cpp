@@ -1,0 +1,48 @@
+#include "phy/channel.h"
+
+#include <cassert>
+
+#include "mobility/vec2.h"
+#include "phy/radio.h"
+
+namespace ag::phy {
+
+Channel::Channel(sim::Simulator& sim, const mobility::MobilityModel& mobility,
+                 PhyParams params)
+    : sim_{sim}, mobility_{mobility}, params_{params} {}
+
+void Channel::attach(Radio* radio) {
+  assert(radio != nullptr);
+  assert(radio->node_index() == radios_.size() && "attach in node-index order");
+  radios_.push_back(radio);
+}
+
+sim::Duration Channel::airtime_of(const mac::Frame& frame) const {
+  const double payload_us = static_cast<double>(frame.wire_bytes()) * 8.0 * 1e6 / params_.bitrate_bps;
+  return sim::Duration::us(static_cast<std::int64_t>(params_.phy_overhead_us + payload_us));
+}
+
+double Channel::distance_between(std::size_t a, std::size_t b) const {
+  const sim::SimTime now = sim_.now();
+  return mobility::distance(mobility_.position_of(a, now), mobility_.position_of(b, now));
+}
+
+void Channel::transmit(std::size_t sender, const mac::Frame& frame) {
+  ++transmissions_;
+  const sim::SimTime now = sim_.now();
+  const sim::Duration airtime = airtime_of(frame);
+  const mobility::Vec2 from = mobility_.position_of(sender, now);
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    if (i == sender) continue;
+    const double d = mobility::distance(from, mobility_.position_of(i, now));
+    if (d > params_.transmission_range_m) continue;
+    if (drop_hook_ && drop_hook_(sender, i)) continue;
+    const auto prop = sim::Duration::us(
+        static_cast<std::int64_t>(d / params_.propagation_mps * 1e6) + 1);
+    sim_.schedule_after(prop, [this, i, frame, end = now + prop + airtime] {
+      radios_[i]->begin_reception(frame, end);
+    });
+  }
+}
+
+}  // namespace ag::phy

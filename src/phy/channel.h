@@ -1,0 +1,55 @@
+// Broadcast wireless medium with unit-disk propagation: every radio within
+// transmission_range_m of the sender (positions taken at transmit start)
+// receives the frame after the propagation delay.
+#ifndef AG_PHY_CHANNEL_H
+#define AG_PHY_CHANNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mac/frame.h"
+#include "mobility/mobility_model.h"
+#include "phy/phy_params.h"
+#include "sim/simulator.h"
+
+namespace ag::phy {
+
+class Radio;
+
+class Channel {
+ public:
+  Channel(sim::Simulator& sim, const mobility::MobilityModel& mobility, PhyParams params);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Radios must be attached in node-index order.
+  void attach(Radio* radio);
+
+  [[nodiscard]] const PhyParams& params() const { return params_; }
+  [[nodiscard]] sim::Duration airtime_of(const mac::Frame& frame) const;
+
+  // Called by the sending radio; delivers to all radios in range.
+  void transmit(std::size_t sender, const mac::Frame& frame);
+
+  // Test hook: returns true to silently drop the copy from `sender` to
+  // `receiver` (deterministic loss injection for recovery tests).
+  using DropHook = std::function<bool(std::size_t sender, std::size_t receiver)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  [[nodiscard]] double distance_between(std::size_t a, std::size_t b) const;
+
+ private:
+  sim::Simulator& sim_;
+  const mobility::MobilityModel& mobility_;
+  PhyParams params_;
+  std::vector<Radio*> radios_;
+  DropHook drop_hook_;
+  std::uint64_t transmissions_{0};
+};
+
+}  // namespace ag::phy
+
+#endif  // AG_PHY_CHANNEL_H

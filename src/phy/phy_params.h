@@ -1,0 +1,18 @@
+// Physical-layer parameters (paper section 5.1: 2 Mbps radio, unit-disk
+// transmission range varied per experiment).
+#ifndef AG_PHY_PHY_PARAMS_H
+#define AG_PHY_PHY_PARAMS_H
+
+namespace ag::phy {
+
+struct PhyParams {
+  double transmission_range_m{75.0};
+  double bitrate_bps{2e6};
+  // PLCP preamble + header at 1 Mbps, 802.11 DSSS long preamble.
+  double phy_overhead_us{192.0};
+  double propagation_mps{3e8};
+};
+
+}  // namespace ag::phy
+
+#endif  // AG_PHY_PHY_PARAMS_H

@@ -1,0 +1,90 @@
+#include "phy/radio.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "phy/channel.h"
+
+namespace ag::phy {
+
+Radio::Radio(sim::Simulator& sim, Channel& channel, std::size_t node_index)
+    : sim_{sim}, channel_{channel}, node_index_{node_index} {}
+
+bool Radio::medium_busy() const { return transmitting_ || !active_rx_.empty(); }
+
+sim::Duration Radio::idle_for() const {
+  if (medium_busy()) return sim::Duration::zero();
+  return sim_.now() - idle_since_;
+}
+
+void Radio::transmit(const mac::Frame& frame) {
+  assert(!transmitting_ && "MAC must serialize transmissions");
+  const bool was_busy = medium_busy();
+  transmitting_ = true;
+  // Half duplex: anything being received is destroyed.
+  for (ActiveRx& rx : active_rx_) {
+    if (!rx.corrupt) {
+      rx.corrupt = true;
+      ++counters_.frames_missed_while_tx;
+    }
+  }
+  ++counters_.frames_sent;
+  channel_.transmit(node_index_, frame);
+  sim_.schedule_after(channel_.airtime_of(frame), [this] {
+    transmitting_ = false;
+    after_state_change(/*was_busy=*/true);
+    if (listener_ != nullptr) listener_->on_transmit_complete();
+  });
+  after_state_change(was_busy);
+}
+
+void Radio::begin_reception(const mac::Frame& frame, sim::SimTime end) {
+  const bool was_busy = medium_busy();
+  ActiveRx rx{frame, end, /*corrupt=*/false};
+  if (transmitting_) {
+    rx.corrupt = true;
+    ++counters_.frames_missed_while_tx;
+  }
+  if (!active_rx_.empty()) {
+    // Collision: the new frame and every overlapping one are lost.
+    for (ActiveRx& other : active_rx_) {
+      if (!other.corrupt) {
+        other.corrupt = true;
+        ++counters_.frames_corrupted;
+      }
+    }
+    if (!rx.corrupt) {
+      rx.corrupt = true;
+      ++counters_.frames_corrupted;
+    }
+  }
+  active_rx_.push_back(std::move(rx));
+  sim_.schedule_at(end, [this] { finish_reception(); });
+  after_state_change(was_busy);
+}
+
+void Radio::finish_reception() {
+  // Receptions complete in arrival order only if airtimes are equal, so
+  // find the entry whose end time is now.
+  auto it = std::find_if(active_rx_.begin(), active_rx_.end(),
+                         [&](const ActiveRx& rx) { return rx.end <= sim_.now(); });
+  assert(it != active_rx_.end());
+  const bool deliver = !it->corrupt;
+  mac::Frame frame = std::move(it->frame);
+  active_rx_.erase(it);
+  after_state_change(/*was_busy=*/true);
+  if (deliver) {
+    ++counters_.frames_received;
+    if (listener_ != nullptr) listener_->on_frame_received(frame);
+  }
+}
+
+void Radio::after_state_change(bool was_busy) {
+  const bool busy = medium_busy();
+  if (!busy) idle_since_ = sim_.now();
+  if (listener_ == nullptr) return;
+  if (busy && !was_busy) listener_->on_medium_busy();
+  if (!busy && was_busy) listener_->on_medium_idle();
+}
+
+}  // namespace ag::phy

@@ -1,0 +1,84 @@
+// Half-duplex radio: tracks its own transmission, every reception in
+// progress, and carrier state. Two receptions overlapping in time corrupt
+// each other (unit-disk interference, no capture); a node transmitting is
+// deaf to incoming frames.
+#ifndef AG_PHY_RADIO_H
+#define AG_PHY_RADIO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/frame.h"
+#include "sim/simulator.h"
+
+namespace ag::phy {
+
+class Channel;
+
+// Implemented by the MAC layer.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+  virtual void on_frame_received(const mac::Frame& frame) = 0;
+  virtual void on_medium_busy() = 0;
+  virtual void on_medium_idle() = 0;
+  virtual void on_transmit_complete() = 0;
+};
+
+class Radio {
+ public:
+  Radio(sim::Simulator& sim, Channel& channel, std::size_t node_index);
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  void set_listener(RadioListener* listener) { listener_ = listener; }
+  [[nodiscard]] std::size_t node_index() const { return node_index_; }
+
+  [[nodiscard]] bool transmitting() const { return transmitting_; }
+  // True while transmitting or while any energy (even a corrupted frame)
+  // is on the air at this node — physical carrier sense.
+  [[nodiscard]] bool medium_busy() const;
+  // How long the medium has been continuously idle (zero when busy).
+  [[nodiscard]] sim::Duration idle_for() const;
+
+  // Starts transmitting; any reception in progress is destroyed (half
+  // duplex). Precondition: not already transmitting.
+  void transmit(const mac::Frame& frame);
+
+  // Channel-driven: a frame's first bit arrives; last bit at `end`.
+  void begin_reception(const mac::Frame& frame, sim::SimTime end);
+
+  // Counters for the stats module.
+  struct Counters {
+    std::uint64_t frames_sent{0};
+    std::uint64_t frames_received{0};
+    std::uint64_t frames_corrupted{0};  // lost to collision
+    std::uint64_t frames_missed_while_tx{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct ActiveRx {
+    mac::Frame frame;
+    sim::SimTime end;
+    bool corrupt{false};
+  };
+
+  void finish_reception();
+  void after_state_change(bool was_busy);
+
+  sim::Simulator& sim_;
+  Channel& channel_;
+  std::size_t node_index_;
+  RadioListener* listener_{nullptr};
+
+  bool transmitting_{false};
+  std::vector<ActiveRx> active_rx_;
+  sim::SimTime idle_since_;  // valid when !medium_busy()
+  Counters counters_;
+};
+
+}  // namespace ag::phy
+
+#endif  // AG_PHY_RADIO_H

@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ag::sim {
+
+EventId EventQueue::schedule(SimTime at, Action action) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, id, std::move(action)});
+  live_.insert(id);
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return live_.erase(id.id_) > 0;  // corpse stays in heap_, skipped on pop
+}
+
+void EventQueue::drop_cancelled_front() const {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_front();
+  return heap_.empty() ? SimTime::max() : heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_front();
+  assert(!heap_.empty());
+  // priority_queue::top() is const&; the Entry is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.at, std::move(top.action)};
+  live_.erase(top.id);
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace ag::sim

@@ -1,0 +1,74 @@
+// Cancellable discrete-event queue. Events at equal times fire in
+// scheduling order (FIFO), which keeps runs deterministic. Cancellation is
+// lazy: cancelled entries stay in the heap and are skipped on pop, so both
+// schedule and cancel are O(log n) / O(1) amortized.
+#ifndef AG_SIM_EVENT_QUEUE_H
+#define AG_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ag::sim {
+
+// Opaque handle for cancelling a scheduled event. Value 0 is "invalid".
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_{0};
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventId schedule(SimTime at, Action action);
+  // Cancels a pending event. Returns false (harmless no-op) if the id is
+  // invalid, already fired, or already cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  // Time of the next live event; SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  // Pops and returns the next live event. Precondition: !empty().
+  struct Fired {
+    SimTime at;
+    Action action;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among equal times
+    }
+  };
+
+  void drop_cancelled_front() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet fired/cancelled
+  std::uint64_t next_id_{1};
+};
+
+}  // namespace ag::sim
+
+#endif  // AG_SIM_EVENT_QUEUE_H

@@ -1,0 +1,46 @@
+#include "sim/rng.h"
+
+#include <vector>
+
+namespace ag::sim {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(weights.size()) - 1));
+  }
+  double pick = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (pick < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng RngFactory::stream(std::string_view name, std::uint64_t instance) const {
+  std::uint64_t h = splitmix64(run_seed_ ^ splitmix64(fnv1a(name) + instance));
+  return Rng{h};
+}
+
+}  // namespace ag::sim

@@ -1,0 +1,56 @@
+// Deterministic random-number streams. Each protocol layer draws from its
+// own named stream so that, e.g., adding one extra MAC backoff draw cannot
+// perturb the mobility trace of an otherwise identical run.
+#ifndef AG_SIM_RNG_H
+#define AG_SIM_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace ag::sim {
+
+// One random stream (thin wrapper over mt19937_64 with the draws we need).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+  bool bernoulli(double p) { return std::bernoulli_distribution{p}(engine_); }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Index in [0, n) chosen with probability weights[i] / sum(weights).
+  // Falls back to uniform choice when all weights are zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Derives independent named streams from a single run seed (splitmix64 over
+// seed and a hash of the stream name, so stream sets are stable across runs).
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t run_seed) : run_seed_{run_seed} {}
+
+  [[nodiscard]] Rng stream(std::string_view name, std::uint64_t instance = 0) const;
+  [[nodiscard]] std::uint64_t run_seed() const { return run_seed_; }
+
+ private:
+  std::uint64_t run_seed_;
+};
+
+}  // namespace ag::sim
+
+#endif  // AG_SIM_RNG_H

@@ -1,0 +1,30 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ag::sim {
+
+EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return queue_.schedule(at, std::move(action));
+}
+
+EventId Simulator::schedule_after(Duration delay, EventQueue::Action action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto fired = queue_.pop();
+    now_ = fired.at;
+    fired.action();
+    ++n;
+    ++executed_;
+  }
+  if (until != SimTime::max() && now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace ag::sim

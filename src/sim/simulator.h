@@ -1,0 +1,46 @@
+// The simulation kernel: a clock plus the event queue. Single-threaded and
+// deterministic — all model code runs inside event actions.
+#ifndef AG_SIM_SIMULATOR_H
+#define AG_SIM_SIMULATOR_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ag::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t run_seed = 1) : rng_factory_{run_seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const RngFactory& rng() const { return rng_factory_; }
+
+  EventId schedule_at(SimTime at, EventQueue::Action action);
+  EventId schedule_after(Duration delay, EventQueue::Action action);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs events until the queue drains or the clock passes `until`
+  // (events at exactly `until` still fire). Returns events executed.
+  std::size_t run_until(SimTime until);
+  // Drains the queue completely (use only in tests with finite event sets).
+  std::size_t run_all() { return run_until(SimTime::max()); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  RngFactory rng_factory_;
+  std::uint64_t executed_{0};
+};
+
+}  // namespace ag::sim
+
+#endif  // AG_SIM_SIMULATOR_H

@@ -1,0 +1,74 @@
+// Simulation time: strongly typed time points and durations with
+// integer-microsecond resolution (floating point would drift over a
+// 600-second run with microsecond-scale MAC events).
+#ifndef AG_SIM_TIME_H
+#define AG_SIM_TIME_H
+
+#include <cstdint>
+#include <limits>
+
+namespace ag::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration us(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) * 1e-6; }
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{us_ * k}; }
+  // Named to avoid int/double overload ambiguity at call sites.
+  [[nodiscard]] constexpr Duration scaled(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{us_ / k}; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime us(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1000}; }
+  static constexpr SimTime seconds(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime{us_ + d.count_us()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{us_ - d.count_us()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration::us(us_ - o.us_); }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+}  // namespace ag::sim
+
+#endif  // AG_SIM_TIME_H

@@ -1,0 +1,41 @@
+#include "sim/timer.h"
+
+namespace ag::sim {
+
+void Timer::restart(Duration delay) {
+  cancel();
+  deadline_ = sim_->now() + delay;
+  id_ = sim_->schedule_at(deadline_, [this] {
+    id_ = EventId{};
+    on_fire_();
+  });
+}
+
+void Timer::cancel() {
+  if (id_.valid()) {
+    sim_->cancel(id_);
+    id_ = EventId{};
+  }
+}
+
+void PeriodicTimer::start(Duration period, Rng* rng, Duration jitter) {
+  period_ = period;
+  jitter_ = jitter;
+  rng_ = rng;
+  arm();
+}
+
+void PeriodicTimer::arm() {
+  Duration delay = period_;
+  if (rng_ != nullptr && jitter_ > Duration::zero()) {
+    delay = delay + Duration::us(rng_->uniform_int(0, jitter_.count_us() - 1));
+  }
+  timer_.restart(delay);
+}
+
+void PeriodicTimer::fire() {
+  arm();  // rearm first so on_tick_ may stop() the timer
+  on_tick_();
+}
+
+}  // namespace ag::sim

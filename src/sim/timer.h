@@ -1,0 +1,65 @@
+// RAII timer on top of the simulator: protocol state machines hold Timers
+// as members, so a destroyed router can never be called back by a stale
+// event. Restarting implicitly cancels the previous schedule.
+#ifndef AG_SIM_TIMER_H
+#define AG_SIM_TIMER_H
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace ag::sim {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_{&sim}, on_fire_{std::move(on_fire)} {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  // (Re)arms the timer to fire after `delay` from now.
+  void restart(Duration delay);
+  void cancel();
+  [[nodiscard]] bool pending() const { return id_.valid(); }
+  // Expiry time of the armed timer (meaningful only when pending()).
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> on_fire_;
+  EventId id_;
+  SimTime deadline_;
+};
+
+// Fixed-period timer with optional uniform jitter per tick; used for hello
+// beacons, group hellos and gossip rounds.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, std::function<void()> on_tick)
+      : sim_{&sim}, on_tick_{std::move(on_tick)}, timer_{sim, [this] { fire(); }} {}
+
+  // Starts ticking every `period`; each tick is displaced by a fresh uniform
+  // draw in [0, jitter) using `rng` (pass nullptr for no jitter).
+  void start(Duration period, Rng* rng = nullptr, Duration jitter = Duration::zero());
+  void stop() { timer_.cancel(); }
+  [[nodiscard]] bool running() const { return timer_.pending(); }
+
+ private:
+  void fire();
+  void arm();
+
+  Simulator* sim_;
+  std::function<void()> on_tick_;
+  Timer timer_;
+  Duration period_;
+  Duration jitter_;
+  Rng* rng_{nullptr};
+};
+
+}  // namespace ag::sim
+
+#endif  // AG_SIM_TIMER_H

@@ -1,0 +1,77 @@
+// Per-run measurement record: what the paper's figures are computed from.
+#ifndef AG_STATS_RUN_RESULT_H
+#define AG_STATS_RUN_RESULT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.h"
+#include "stats/summary.h"
+
+namespace ag::stats {
+
+struct MemberResult {
+  net::NodeId node;
+  std::uint64_t received{0};      // unique data packets delivered
+  std::uint64_t via_gossip{0};    // of which recovered by gossip replies
+  std::uint64_t replies_received{0};
+  std::uint64_t replies_useful{0};
+  double mean_latency_s{0.0};
+
+  // Paper section 5.5: goodput = % of non-duplicate messages among all
+  // messages received through gossip replies. A member that received no
+  // replies has no redundant traffic; report 100.
+  [[nodiscard]] double goodput_pct() const {
+    if (replies_received == 0) return 100.0;
+    return 100.0 * static_cast<double>(replies_useful) /
+           static_cast<double>(replies_received);
+  }
+};
+
+struct NetworkTotals {
+  std::uint64_t channel_transmissions{0};
+  std::uint64_t mac_unicast{0};
+  std::uint64_t mac_broadcast{0};
+  std::uint64_t mac_collisions{0};
+  std::uint64_t mac_queue_drops{0};
+  std::uint64_t rreq_originated{0};
+  std::uint64_t rerr_sent{0};
+  std::uint64_t grph_sent{0};
+  std::uint64_t mact_sent{0};
+  std::uint64_t data_forwarded{0};
+  std::uint64_t gossip_walks{0};
+  std::uint64_t gossip_replies{0};
+  std::uint64_t nm_updates{0};
+  std::uint64_t repairs_started{0};
+  std::uint64_t partitions{0};
+  std::uint64_t leaders_elected{0};
+};
+
+struct RunResult {
+  std::uint64_t seed{0};
+  std::uint32_t packets_sent{0};
+  std::vector<MemberResult> members;  // receivers (source excluded)
+  NetworkTotals totals;
+
+  [[nodiscard]] std::vector<double> received_per_member() const {
+    std::vector<double> out;
+    out.reserve(members.size());
+    for (const MemberResult& m : members) out.push_back(static_cast<double>(m.received));
+    return out;
+  }
+  [[nodiscard]] Summary received_summary() const { return summarize(received_per_member()); }
+  [[nodiscard]] double delivery_ratio() const {
+    if (packets_sent == 0 || members.empty()) return 0.0;
+    return received_summary().mean / static_cast<double>(packets_sent);
+  }
+  [[nodiscard]] double mean_goodput_pct() const {
+    if (members.empty()) return 100.0;
+    double sum = 0.0;
+    for (const MemberResult& m : members) sum += m.goodput_pct();
+    return sum / static_cast<double>(members.size());
+  }
+};
+
+}  // namespace ag::stats
+
+#endif  // AG_STATS_RUN_RESULT_H

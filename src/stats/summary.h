@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used by results and benches.
+#ifndef AG_STATS_SUMMARY_H
+#define AG_STATS_SUMMARY_H
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ag::stats {
+
+struct Summary {
+  double mean{0.0};
+  double min{0.0};
+  double max{0.0};
+  double stddev{0.0};
+  std::size_t n{0};
+};
+
+[[nodiscard]] inline Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    if (x < s.min) s.min = x;
+    if (x > s.max) s.max = x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace ag::stats
+
+#endif  // AG_STATS_SUMMARY_H

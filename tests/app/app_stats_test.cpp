@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "app/multicast_sink.h"
+#include "app/multicast_source.h"
+#include "app/workload.h"
+#include "stats/run_result.h"
+#include "stats/summary.h"
+
+namespace ag {
+namespace {
+
+TEST(Workload, PaperPacketCountIs2201) {
+  app::Workload w;  // defaults: 120 s .. 560 s every 200 ms
+  EXPECT_EQ(w.packet_count(), 2201u);
+}
+
+TEST(Workload, DegenerateWindows) {
+  app::Workload w;
+  w.end = w.start;
+  EXPECT_EQ(w.packet_count(), 1u);  // single packet at start
+  w.end = w.start - sim::Duration::ms(1);
+  EXPECT_EQ(w.packet_count(), 0u);
+}
+
+TEST(MulticastSource, EmitsExactlyTheWorkload) {
+  sim::Simulator sim;
+  app::Workload w;
+  w.start = sim::SimTime::seconds(1.0);
+  w.end = sim::SimTime::seconds(2.0);
+  w.interval = sim::Duration::ms(100);
+  int sends = 0;
+  app::MulticastSource src{sim, w, [&](std::uint16_t bytes) {
+    EXPECT_EQ(bytes, 64);
+    ++sends;
+  }};
+  src.start();
+  sim.run_all();
+  EXPECT_EQ(sends, 11);
+  EXPECT_EQ(src.sent(), 11u);
+}
+
+TEST(MulticastSource, FirstPacketAtStartTime) {
+  sim::Simulator sim;
+  app::Workload w;
+  w.start = sim::SimTime::seconds(3.0);
+  w.end = sim::SimTime::seconds(3.0);
+  sim::SimTime sent_at;
+  app::MulticastSource src{sim, w, [&](std::uint16_t) { sent_at = sim.now(); }};
+  src.start();
+  sim.run_all();
+  EXPECT_EQ(sent_at, sim::SimTime::seconds(3.0));
+}
+
+TEST(MulticastSink, CountsAndLatency) {
+  sim::Simulator sim;
+  app::MulticastSink sink{sim};
+  sim.schedule_at(sim::SimTime::seconds(1.0), [&] {
+    net::MulticastData d;
+    d.sent_at = sim::SimTime::seconds(0.4);
+    sink.on_deliver(d, false);
+    sink.on_deliver(d, true);
+  });
+  sim.run_all();
+  EXPECT_EQ(sink.received(), 2u);
+  EXPECT_EQ(sink.via_gossip(), 1u);
+  EXPECT_DOUBLE_EQ(sink.mean_latency_s(), 0.6);
+  EXPECT_DOUBLE_EQ(sink.max_latency_s(), 0.6);
+}
+
+TEST(Summary, BasicStatistics) {
+  stats::Summary s = stats::summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  EXPECT_EQ(stats::summarize({}).n, 0u);
+  stats::Summary s = stats::summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(MemberResult, GoodputDefinition) {
+  stats::MemberResult m;
+  EXPECT_DOUBLE_EQ(m.goodput_pct(), 100.0);  // no replies -> no redundancy
+  m.replies_received = 200;
+  m.replies_useful = 197;
+  EXPECT_DOUBLE_EQ(m.goodput_pct(), 98.5);
+}
+
+TEST(RunResult, AggregatesAcrossMembers) {
+  stats::RunResult r;
+  r.packets_sent = 100;
+  for (std::uint64_t recv : {80, 90, 100}) {
+    stats::MemberResult m;
+    m.received = recv;
+    r.members.push_back(m);
+  }
+  EXPECT_DOUBLE_EQ(r.received_summary().mean, 90.0);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 0.9);
+}
+
+TEST(RunResult, EmptyMembersIsSafe) {
+  stats::RunResult r;
+  r.packets_sent = 10;
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_goodput_pct(), 100.0);
+}
+
+}  // namespace
+}  // namespace ag

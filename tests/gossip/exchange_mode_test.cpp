@@ -1,0 +1,166 @@
+// Push vs pull exchange modes (paper section 4.4 references the Demers et
+// al. taxonomy; the paper's protocol is pull — push/push-pull are our
+// design-space extension).
+#include <gtest/gtest.h>
+
+#include "gossip/gossip_agent.h"
+
+namespace ag::gossip {
+namespace {
+
+const net::GroupId kG{1};
+const net::NodeId kSelf{10};
+
+class PushAdapter : public RoutingAdapter {
+ public:
+  [[nodiscard]] net::NodeId self() const override { return kSelf; }
+  [[nodiscard]] bool is_member(net::GroupId) const override { return true; }
+  [[nodiscard]] bool on_tree(net::GroupId) const override { return true; }
+  [[nodiscard]] std::vector<net::NodeId> tree_neighbors(net::GroupId) const override {
+    return {net::NodeId{2}};
+  }
+  void unicast(net::NodeId, net::Payload) override {}
+  void send_to_neighbor(net::NodeId, net::Payload payload) override {
+    sent.push_back(std::move(payload));
+  }
+  void route_hint(net::NodeId, net::NodeId, std::uint8_t) override {}
+  [[nodiscard]] std::uint8_t route_hops(net::NodeId) const override { return 1; }
+  std::vector<net::Payload> sent;
+};
+
+net::MulticastData data(std::uint32_t seq) {
+  net::MulticastData d;
+  d.group = kG;
+  d.origin = net::NodeId{1};
+  d.seq = seq;
+  return d;
+}
+
+net::Packet packet_of(net::Payload payload) {
+  net::Packet p;
+  p.src = net::NodeId{2};
+  p.dst = kSelf;
+  p.payload = std::move(payload);
+  return p;
+}
+
+struct ModeFixture {
+  explicit ModeFixture(ExchangeMode mode) {
+    params.exchange_mode = mode;
+    params.push_budget = 3;
+    params.round_jitter = sim::Duration::zero();
+    params.p_anon = 1.0;
+    agent = std::make_unique<GossipAgent>(sim, adapter, params,
+                                          sim.rng().stream("gossip"));
+    agent->on_self_membership_changed(kG, true);
+  }
+  sim::Simulator sim{9};
+  PushAdapter adapter;
+  GossipParams params;
+  std::unique_ptr<GossipAgent> agent;
+};
+
+TEST(ExchangeMode, PushRoundCarriesRecentHistoryAndNoPullLists) {
+  ModeFixture f{ExchangeMode::push};
+  for (std::uint32_t s = 0; s < 5; ++s) f.agent->on_multicast_data(data(s), net::NodeId{2});
+  f.agent->start();
+  f.sim.run_until(f.sim.now() + sim::Duration::ms(1100));
+  ASSERT_EQ(f.adapter.sent.size(), 1u);
+  const auto* msg = std::get_if<GossipMsg>(&f.adapter.sent[0]);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_FALSE(msg->pull);
+  EXPECT_TRUE(msg->lost.empty());
+  EXPECT_TRUE(msg->expected.empty());
+  ASSERT_EQ(msg->pushed.size(), 3u);       // push_budget
+  EXPECT_EQ(msg->pushed[0].seq, 4u);       // newest first
+}
+
+TEST(ExchangeMode, PushPullCarriesBoth) {
+  ModeFixture f{ExchangeMode::push_pull};
+  f.agent->on_multicast_data(data(0), net::NodeId{2});
+  f.agent->on_multicast_data(data(3), net::NodeId{2});  // holes 1,2
+  f.agent->start();
+  f.sim.run_until(f.sim.now() + sim::Duration::ms(1100));
+  ASSERT_EQ(f.adapter.sent.size(), 1u);
+  const auto* msg = std::get_if<GossipMsg>(&f.adapter.sent[0]);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_TRUE(msg->pull);
+  EXPECT_EQ(msg->lost.size(), 2u);
+  EXPECT_FALSE(msg->pushed.empty());
+}
+
+TEST(ExchangeMode, PullRoundCarriesNoPushedData) {
+  ModeFixture f{ExchangeMode::pull};
+  for (std::uint32_t s = 0; s < 5; ++s) f.agent->on_multicast_data(data(s), net::NodeId{2});
+  f.agent->start();
+  f.sim.run_until(f.sim.now() + sim::Duration::ms(1100));
+  ASSERT_EQ(f.adapter.sent.size(), 1u);
+  const auto* msg = std::get_if<GossipMsg>(&f.adapter.sent[0]);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_TRUE(msg->pull);
+  EXPECT_TRUE(msg->pushed.empty());
+}
+
+TEST(ExchangeMode, ReceivedPushIsDeliveredAndCountsTowardGoodput) {
+  ModeFixture f{ExchangeMode::pull};  // receiver mode is irrelevant
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{7};
+  msg.pull = false;
+  msg.pushed = {data(0), data(1)};
+  msg.cached = true;
+  f.agent->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  EXPECT_EQ(f.agent->counters().delivered_unique, 2u);
+  EXPECT_EQ(f.agent->counters().replies_received, 2u);
+  EXPECT_EQ(f.agent->counters().replies_useful, 2u);
+}
+
+TEST(ExchangeMode, DuplicatePushHurtsGoodput) {
+  ModeFixture f{ExchangeMode::pull};
+  f.agent->on_multicast_data(data(0), net::NodeId{2});
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{7};
+  msg.pull = false;
+  msg.pushed = {data(0)};  // we already have it: redundant gossip traffic
+  msg.cached = true;
+  f.agent->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  EXPECT_EQ(f.agent->counters().replies_received, 1u);
+  EXPECT_EQ(f.agent->counters().replies_useful, 0u);
+}
+
+TEST(ExchangeMode, PureWalkWithoutPullDoesNotTriggerReplies) {
+  ModeFixture f{ExchangeMode::pull};
+  for (std::uint32_t s = 0; s < 5; ++s) f.agent->on_multicast_data(data(s), net::NodeId{2});
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{7};
+  msg.pull = false;  // push-only round from the initiator's side
+  msg.cached = true;
+  f.agent->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  f.sim.run_until(f.sim.now() + sim::Duration::seconds(1));
+  // No unicasts were produced: the acceptor must not answer a push round.
+  EXPECT_EQ(f.agent->counters().replies_sent, 0u);
+}
+
+TEST(ExchangeMode, PushRoundStillUpdatesMemberCache) {
+  ModeFixture f{ExchangeMode::pull};
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{7};
+  msg.pull = false;
+  msg.hops_walked = 5;
+  msg.cached = false;
+  f.agent->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  // Member + p_accept default 0.5 may accept or forward; force via TTL.
+  // Simplest: check after handle via cached unicast (always accepted).
+  GossipMsg cached = msg;
+  cached.cached = true;
+  f.agent->on_gossip_packet(packet_of(cached), net::NodeId{2});
+  const MemberCache* cache = f.agent->member_cache(kG);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->contains(net::NodeId{7}));
+}
+
+}  // namespace
+}  // namespace ag::gossip

@@ -1,0 +1,394 @@
+// GossipAgent unit tests against a scripted mock routing adapter — no
+// network involved, so each protocol rule is isolated.
+#include "gossip/gossip_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ag::gossip {
+namespace {
+
+const net::GroupId kG{1};
+const net::NodeId kSelf{10};
+
+struct SentUnicast {
+  net::NodeId dest;
+  net::Payload payload;
+};
+struct SentNeighbor {
+  net::NodeId neighbor;
+  net::Payload payload;
+};
+
+class MockAdapter : public RoutingAdapter {
+ public:
+  [[nodiscard]] net::NodeId self() const override { return kSelf; }
+  [[nodiscard]] bool is_member(net::GroupId) const override { return member; }
+  [[nodiscard]] bool on_tree(net::GroupId) const override { return !neighbors.empty(); }
+  [[nodiscard]] std::vector<net::NodeId> tree_neighbors(net::GroupId) const override {
+    return neighbors;
+  }
+  void unicast(net::NodeId dest, net::Payload payload) override {
+    unicasts.push_back({dest, std::move(payload)});
+  }
+  void send_to_neighbor(net::NodeId neighbor, net::Payload payload) override {
+    neighbor_sends.push_back({neighbor, std::move(payload)});
+  }
+  void route_hint(net::NodeId dest, net::NodeId via, std::uint8_t hops) override {
+    hints.push_back({dest, via, hops});
+  }
+  [[nodiscard]] std::uint8_t route_hops(net::NodeId) const override { return 3; }
+
+  bool member{true};
+  std::vector<net::NodeId> neighbors;
+  std::vector<SentUnicast> unicasts;
+  std::vector<SentNeighbor> neighbor_sends;
+  struct Hint {
+    net::NodeId dest, via;
+    std::uint8_t hops;
+  };
+  std::vector<Hint> hints;
+};
+
+net::MulticastData data(std::uint32_t seq, std::uint32_t origin = 1) {
+  net::MulticastData d;
+  d.group = kG;
+  d.origin = net::NodeId{origin};
+  d.seq = seq;
+  d.payload_bytes = 64;
+  return d;
+}
+
+net::Packet packet_of(net::Payload payload, net::NodeId dst = kSelf) {
+  net::Packet p;
+  p.src = net::NodeId{1};
+  p.dst = dst;
+  p.payload = std::move(payload);
+  return p;
+}
+
+class GossipAgentTest : public ::testing::Test {
+ protected:
+  GossipAgentTest() { params_.round_jitter = sim::Duration::zero(); }
+
+  GossipAgent& make_agent() {
+    agent_ = std::make_unique<GossipAgent>(sim_, adapter_, params_,
+                                           sim_.rng().stream("gossip"));
+    agent_->on_self_membership_changed(kG, true);
+    return *agent_;
+  }
+
+  sim::Simulator sim_{123};
+  MockAdapter adapter_;
+  GossipParams params_;
+  std::unique_ptr<GossipAgent> agent_;
+};
+
+TEST_F(GossipAgentTest, DeliversUniqueDataInOrder) {
+  GossipAgent& agent = make_agent();
+  std::vector<std::uint32_t> delivered;
+  agent.set_deliver([&](const net::MulticastData& d, bool) { delivered.push_back(d.seq); });
+  agent.on_multicast_data(data(0), net::NodeId{2});
+  agent.on_multicast_data(data(1), net::NodeId{2});
+  agent.on_multicast_data(data(1), net::NodeId{2});  // duplicate
+  EXPECT_EQ(delivered, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(agent.counters().duplicates, 1u);
+  EXPECT_EQ(agent.counters().delivered_unique, 2u);
+}
+
+TEST_F(GossipAgentTest, GapPopulatesLostTableAndGossipMessage) {
+  params_.p_anon = 1.0;
+  GossipAgent& agent = make_agent();
+  agent.on_multicast_data(data(0), net::NodeId{2});
+  agent.on_multicast_data(data(5), net::NodeId{2});
+  const LostTable* lost = agent.lost_table(kG);
+  ASSERT_NE(lost, nullptr);
+  EXPECT_EQ(lost->size(), 4u);
+
+  // A round must put those losses into a walk message.
+  adapter_.neighbors = {net::NodeId{2}};
+  agent_->start();
+  sim_.run_until(sim_.now() + sim::Duration::ms(1100));
+  ASSERT_EQ(adapter_.neighbor_sends.size(), 1u);
+  const auto* msg = std::get_if<GossipMsg>(&adapter_.neighbor_sends[0].payload);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->initiator, kSelf);
+  EXPECT_EQ(msg->lost.size(), 4u);
+  EXPECT_EQ(msg->hops_walked, 1u);
+  EXPECT_FALSE(msg->cached);
+}
+
+TEST_F(GossipAgentTest, LostBufferCappedAtTen) {
+  params_.p_anon = 1.0;
+  GossipAgent& agent = make_agent();
+  agent.on_multicast_data(data(50), net::NodeId{2});  // 50 holes
+  adapter_.neighbors = {net::NodeId{2}};
+  agent_->start();
+  sim_.run_until(sim_.now() + sim::Duration::ms(1100));
+  ASSERT_FALSE(adapter_.neighbor_sends.empty());
+  const auto* msg = std::get_if<GossipMsg>(&adapter_.neighbor_sends[0].payload);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->lost.size(), 10u);  // paper: at most 10 requested losses
+}
+
+TEST_F(GossipAgentTest, CachedGossipUnicastsToCachedMember) {
+  params_.p_anon = 0.0;  // always cached
+  GossipAgent& agent = make_agent();
+  agent.on_member_learned(kG, net::NodeId{7}, 2);
+  agent.start();
+  sim_.run_until(sim_.now() + sim::Duration::ms(1100));
+  ASSERT_EQ(adapter_.unicasts.size(), 1u);
+  EXPECT_EQ(adapter_.unicasts[0].dest, net::NodeId{7});
+  const auto* msg = std::get_if<GossipMsg>(&adapter_.unicasts[0].payload);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_TRUE(msg->cached);
+  EXPECT_EQ(agent.counters().cached_initiated, 1u);
+}
+
+TEST_F(GossipAgentTest, CachedModeFallsBackToWalkWhenCacheEmpty) {
+  params_.p_anon = 0.0;
+  make_agent();
+  adapter_.neighbors = {net::NodeId{3}};
+  agent_->start();
+  sim_.run_until(sim_.now() + sim::Duration::ms(1100));
+  EXPECT_TRUE(adapter_.unicasts.empty());
+  EXPECT_EQ(adapter_.neighbor_sends.size(), 1u);  // fell back to anonymous
+}
+
+TEST_F(GossipAgentTest, NoRoundActionWithoutTreeOrCache) {
+  make_agent();
+  agent_->start();
+  sim_.run_until(sim_.now() + sim::Duration::ms(2100));
+  EXPECT_TRUE(adapter_.unicasts.empty());
+  EXPECT_TRUE(adapter_.neighbor_sends.empty());
+}
+
+TEST_F(GossipAgentTest, WalkForwardedExcludesArrivalNeighbor) {
+  params_.p_accept = 0.0;  // never accept: always forward
+  make_agent();
+  adapter_.neighbors = {net::NodeId{2}, net::NodeId{3}};
+
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.hops_walked = 1;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  ASSERT_EQ(adapter_.neighbor_sends.size(), 1u);
+  EXPECT_EQ(adapter_.neighbor_sends[0].neighbor, net::NodeId{3});  // not back to 2
+  const auto* fwd = std::get_if<GossipMsg>(&adapter_.neighbor_sends[0].payload);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->hops_walked, 2u);
+}
+
+TEST_F(GossipAgentTest, WalkInstallsRouteHintTowardInitiator) {
+  params_.p_accept = 0.0;
+  make_agent();
+  adapter_.neighbors = {net::NodeId{2}, net::NodeId{3}};
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.hops_walked = 2;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  ASSERT_EQ(adapter_.hints.size(), 1u);
+  EXPECT_EQ(adapter_.hints[0].dest, net::NodeId{99});
+  EXPECT_EQ(adapter_.hints[0].via, net::NodeId{2});
+  EXPECT_EQ(adapter_.hints[0].hops, 2);
+}
+
+TEST_F(GossipAgentTest, MemberLeafForcedToAcceptAndReplies) {
+  params_.p_accept = 0.0;  // would normally propagate...
+  make_agent();
+  adapter_.neighbors = {net::NodeId{2}};  // ...but 2 is the arrival neighbor
+  agent_->on_multicast_data(data(4), net::NodeId{2});  // history: seq 4 (+ holes)
+
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.lost = {net::MsgId{net::NodeId{1}, 4}};
+  msg.hops_walked = 3;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  sim_.run_until(sim_.now() + sim::Duration::seconds(1));
+
+  EXPECT_EQ(agent_->counters().walks_accepted, 1u);
+  ASSERT_EQ(adapter_.unicasts.size(), 1u);
+  EXPECT_EQ(adapter_.unicasts[0].dest, net::NodeId{99});
+  const auto* reply = std::get_if<GossipReplyMsg>(&adapter_.unicasts[0].payload);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->data.seq, 4u);
+  EXPECT_EQ(reply->responder, kSelf);
+}
+
+TEST_F(GossipAgentTest, NonMemberDeadEndDropsWalk) {
+  make_agent();
+  adapter_.member = false;
+  adapter_.neighbors = {net::NodeId{2}};
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.hops_walked = 1;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  EXPECT_EQ(agent_->counters().walks_dropped, 1u);
+  EXPECT_TRUE(adapter_.neighbor_sends.empty());
+}
+
+TEST_F(GossipAgentTest, WalkTtlForcesResolution) {
+  params_.p_accept = 0.0;
+  params_.walk_ttl = 4;
+  make_agent();
+  adapter_.neighbors = {net::NodeId{2}, net::NodeId{3}};
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.hops_walked = 4;  // at TTL
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  EXPECT_TRUE(adapter_.neighbor_sends.empty());   // not forwarded
+  EXPECT_EQ(agent_->counters().walks_accepted, 1u);  // member accepts at TTL
+}
+
+TEST_F(GossipAgentTest, RequestServesExpectedSeqPush) {
+  make_agent();
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    agent_->on_multicast_data(data(s), net::NodeId{2});
+  }
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.expected = {{net::NodeId{1}, 3}};  // initiator expects seq 3 next
+  msg.cached = true;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  sim_.run_until(sim_.now() + sim::Duration::seconds(1));
+  // Messages 3 and 4 pushed.
+  ASSERT_EQ(adapter_.unicasts.size(), 2u);
+  const auto* r0 = std::get_if<GossipReplyMsg>(&adapter_.unicasts[0].payload);
+  const auto* r1 = std::get_if<GossipReplyMsg>(&adapter_.unicasts[1].payload);
+  ASSERT_NE(r0, nullptr);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r0->data.seq, 3u);
+  EXPECT_EQ(r1->data.seq, 4u);
+}
+
+TEST_F(GossipAgentTest, ReplyBudgetBoundsResponse) {
+  params_.reply_budget = 3;
+  make_agent();
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    agent_->on_multicast_data(data(s), net::NodeId{2});
+  }
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{99};
+  msg.expected = {{net::NodeId{1}, 0}};
+  msg.cached = true;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  sim_.run_until(sim_.now() + sim::Duration::seconds(1));
+  EXPECT_EQ(adapter_.unicasts.size(), 3u);
+}
+
+TEST_F(GossipAgentTest, ReplyRecoversLossAndCountsGoodput) {
+  GossipAgent& agent = make_agent();
+  std::vector<std::pair<std::uint32_t, bool>> delivered;
+  agent.set_deliver([&](const net::MulticastData& d, bool via_gossip) {
+    delivered.emplace_back(d.seq, via_gossip);
+  });
+  agent.on_multicast_data(data(0), net::NodeId{2});
+  agent.on_multicast_data(data(2), net::NodeId{2});  // hole at 1
+
+  GossipReplyMsg reply;
+  reply.group = kG;
+  reply.responder = net::NodeId{7};
+  reply.data = data(1);
+  agent.on_gossip_packet(packet_of(reply), net::NodeId{2});
+
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[2], (std::pair<std::uint32_t, bool>{1, true}));
+  EXPECT_EQ(agent.counters().replies_received, 1u);
+  EXPECT_EQ(agent.counters().replies_useful, 1u);
+  EXPECT_EQ(agent.lost_table(kG)->size(), 0u);
+}
+
+TEST_F(GossipAgentTest, DuplicateReplyHurtsGoodput) {
+  GossipAgent& agent = make_agent();
+  agent.on_multicast_data(data(0), net::NodeId{2});
+  GossipReplyMsg reply;
+  reply.group = kG;
+  reply.responder = net::NodeId{7};
+  reply.data = data(0);  // already have it
+  agent.on_gossip_packet(packet_of(reply), net::NodeId{2});
+  EXPECT_EQ(agent.counters().replies_received, 1u);
+  EXPECT_EQ(agent.counters().replies_useful, 0u);
+  EXPECT_EQ(agent.counters().duplicates, 1u);
+}
+
+TEST_F(GossipAgentTest, AcceptorLearnsInitiatorIntoMemberCache) {
+  params_.p_accept = 1.0;
+  make_agent();
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = net::NodeId{55};
+  msg.hops_walked = 4;
+  msg.cached = false;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  const MemberCache* cache = agent_->member_cache(kG);
+  ASSERT_NE(cache, nullptr);
+  ASSERT_TRUE(cache->contains(net::NodeId{55}));
+  EXPECT_EQ(cache->entries()[0].numhops, 4);
+}
+
+TEST_F(GossipAgentTest, OwnWalkLoopedBackIsDropped) {
+  make_agent();
+  adapter_.neighbors = {net::NodeId{2}};
+  GossipMsg msg;
+  msg.group = kG;
+  msg.initiator = kSelf;  // our own walk came back
+  msg.hops_walked = 5;
+  agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+  EXPECT_TRUE(adapter_.neighbor_sends.empty());
+  EXPECT_EQ(agent_->counters().walks_accepted, 0u);
+}
+
+TEST_F(GossipAgentTest, LocalityBiasPrefersCloserSubtree) {
+  params_.p_accept = 0.0;
+  params_.locality_alpha = 2.0;
+  make_agent();
+  adapter_.member = false;
+  adapter_.neighbors = {net::NodeId{2}, net::NodeId{3}, net::NodeId{4}};
+  // Neighbor 3 leads to a member at distance 1; neighbor 4 at distance 8.
+  agent_->on_tree_neighbor_added(kG, net::NodeId{2}, 0);
+  agent_->on_tree_neighbor_added(kG, net::NodeId{3}, 1);
+  agent_->on_tree_neighbor_added(kG, net::NodeId{4}, 0);
+  // Feed an explicit distance for 4.
+  NearestMemberMsg nm{kG, 8};
+  agent_->on_gossip_packet(packet_of(nm), net::NodeId{4});
+
+  int to3 = 0, to4 = 0;
+  for (int i = 0; i < 400; ++i) {
+    adapter_.neighbor_sends.clear();
+    GossipMsg msg;
+    msg.group = kG;
+    msg.initiator = net::NodeId{99};
+    msg.hops_walked = 1;
+    agent_->on_gossip_packet(packet_of(msg), net::NodeId{2});
+    ASSERT_EQ(adapter_.neighbor_sends.size(), 1u);
+    if (adapter_.neighbor_sends[0].neighbor == net::NodeId{3}) ++to3;
+    if (adapter_.neighbor_sends[0].neighbor == net::NodeId{4}) ++to4;
+  }
+  EXPECT_GT(to3, to4 * 5);  // strong preference for the nearby member
+  EXPECT_GT(to4, 0);        // but distant subtrees still reachable
+}
+
+TEST_F(GossipAgentTest, DisabledAgentStillTracksDeliveryButNeverGossips) {
+  params_.enabled = false;
+  GossipAgent& agent = make_agent();
+  adapter_.neighbors = {net::NodeId{2}};
+  agent.on_member_learned(kG, net::NodeId{7}, 2);
+  agent.start();
+  agent.on_multicast_data(data(0), net::NodeId{2});
+  sim_.run_until(sim_.now() + sim::Duration::seconds(5));
+  EXPECT_EQ(agent.counters().delivered_unique, 1u);
+  EXPECT_EQ(agent.counters().rounds, 0u);
+  EXPECT_TRUE(adapter_.unicasts.empty());
+  EXPECT_TRUE(adapter_.neighbor_sends.empty());
+}
+
+}  // namespace
+}  // namespace ag::gossip

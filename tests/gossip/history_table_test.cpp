@@ -1,0 +1,68 @@
+#include "gossip/history_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ag::gossip {
+namespace {
+
+net::MulticastData data(std::uint32_t seq, std::uint32_t origin = 1) {
+  net::MulticastData d;
+  d.group = net::GroupId{1};
+  d.origin = net::NodeId{origin};
+  d.seq = seq;
+  return d;
+}
+
+TEST(HistoryTable, StoresAndFinds) {
+  HistoryTable h{10};
+  h.push(data(5));
+  const net::MulticastData* found = h.find({net::NodeId{1}, 5});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->seq, 5u);
+  EXPECT_EQ(h.find({net::NodeId{1}, 6}), nullptr);
+  EXPECT_EQ(h.find({net::NodeId{2}, 5}), nullptr);
+}
+
+TEST(HistoryTable, FifoEvictionAtCapacity) {
+  HistoryTable h{3};
+  for (std::uint32_t s = 0; s < 5; ++s) h.push(data(s));
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_FALSE(h.contains({net::NodeId{1}, 0}));
+  EXPECT_FALSE(h.contains({net::NodeId{1}, 1}));
+  EXPECT_TRUE(h.contains({net::NodeId{1}, 2}));
+  EXPECT_TRUE(h.contains({net::NodeId{1}, 4}));
+}
+
+TEST(HistoryTable, DuplicatePushIgnored) {
+  HistoryTable h{3};
+  h.push(data(1));
+  h.push(data(1));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HistoryTable, CollectFromFiltersByOriginAndSeq) {
+  HistoryTable h{10};
+  h.push(data(1, 1));
+  h.push(data(2, 1));
+  h.push(data(3, 1));
+  h.push(data(2, 9));  // different origin
+  auto got = h.collect_from(net::NodeId{1}, 2, 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, 2u);
+  EXPECT_EQ(got[1].seq, 3u);
+}
+
+TEST(HistoryTable, CollectFromRespectsBudget) {
+  HistoryTable h{10};
+  for (std::uint32_t s = 0; s < 8; ++s) h.push(data(s));
+  EXPECT_EQ(h.collect_from(net::NodeId{1}, 0, 3).size(), 3u);
+}
+
+TEST(HistoryTable, CollectFromEmptyOrigin) {
+  HistoryTable h{10};
+  h.push(data(1, 1));
+  EXPECT_TRUE(h.collect_from(net::NodeId{42}, 0, 10).empty());
+}
+
+}  // namespace
+}  // namespace ag::gossip

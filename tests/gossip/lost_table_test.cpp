@@ -1,0 +1,113 @@
+#include "gossip/lost_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ag::gossip {
+namespace {
+
+const net::NodeId kS{7};
+net::MsgId id(std::uint32_t seq, std::uint32_t sender = 7) {
+  return {net::NodeId{sender}, seq};
+}
+
+TEST(LostTable, InOrderSequenceCreatesNoHoles) {
+  LostTable t{100};
+  EXPECT_EQ(t.on_data(id(0)), ReceiveOutcome::in_order);
+  EXPECT_EQ(t.on_data(id(1)), ReceiveOutcome::in_order);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.expected_for(kS), 2u);
+}
+
+TEST(LostTable, GapRecordsEveryMissingSeq) {
+  LostTable t{100};
+  t.on_data(id(0));
+  EXPECT_EQ(t.on_data(id(5)), ReceiveOutcome::created_holes);
+  EXPECT_EQ(t.size(), 4u);  // 1,2,3,4
+  for (std::uint32_t s = 1; s <= 4; ++s) EXPECT_TRUE(t.contains(id(s)));
+  EXPECT_EQ(t.expected_for(kS), 6u);
+}
+
+TEST(LostTable, FirstMessageAheadOfZeroCreatesHoles) {
+  LostTable t{100};
+  EXPECT_EQ(t.on_data(id(3)), ReceiveOutcome::created_holes);
+  EXPECT_EQ(t.size(), 3u);  // 0,1,2
+}
+
+TEST(LostTable, RecoveryFillsHole) {
+  LostTable t{100};
+  t.on_data(id(0));
+  t.on_data(id(3));
+  EXPECT_EQ(t.on_data(id(1)), ReceiveOutcome::recovered);
+  EXPECT_FALSE(t.contains(id(1)));
+  EXPECT_TRUE(t.contains(id(2)));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LostTable, DuplicateDetected) {
+  LostTable t{100};
+  t.on_data(id(0));
+  EXPECT_EQ(t.on_data(id(0)), ReceiveOutcome::duplicate);
+  t.on_data(id(2));
+  t.on_data(id(1));
+  EXPECT_EQ(t.on_data(id(1)), ReceiveOutcome::duplicate);
+}
+
+TEST(LostTable, SendersAreIndependent) {
+  LostTable t{100};
+  t.on_data(id(0, 1));
+  t.on_data(id(2, 2));  // sender 2 jumps ahead
+  EXPECT_EQ(t.expected_for(net::NodeId{1}), 1u);
+  EXPECT_EQ(t.expected_for(net::NodeId{2}), 3u);
+  EXPECT_TRUE(t.contains(id(0, 2)));
+  EXPECT_FALSE(t.contains(id(0, 1)));
+}
+
+TEST(LostTable, CapacityEvictsOldestHoles) {
+  LostTable t{5};
+  t.on_data(id(10));  // holes 0..9, capacity 5 -> oldest five abandoned
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.abandoned(), 5u);
+  EXPECT_FALSE(t.contains(id(0)));
+  EXPECT_TRUE(t.contains(id(9)));
+  // An abandoned hole arriving late counts as duplicate (given up).
+  EXPECT_EQ(t.on_data(id(0)), ReceiveOutcome::duplicate);
+}
+
+TEST(LostTable, MostRecentReturnsNewestFirst) {
+  LostTable t{100};
+  t.on_data(id(3));              // holes 0,1,2
+  const auto recent = t.most_recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].seq, 2u);
+  EXPECT_EQ(recent[1].seq, 1u);
+}
+
+TEST(LostTable, MostRecentSkipsRecoveredEntries) {
+  LostTable t{100};
+  t.on_data(id(3));
+  t.on_data(id(2));  // recover newest hole
+  const auto recent = t.most_recent(10);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].seq, 1u);
+}
+
+TEST(LostTable, ExpectationsListAllSenders) {
+  LostTable t{100};
+  t.on_data(id(0, 1));
+  t.on_data(id(4, 2));
+  auto exps = t.expectations();
+  ASSERT_EQ(exps.size(), 2u);
+}
+
+TEST(LostTable, LargeGapBoundedByCapacity) {
+  LostTable t{200};  // the paper's size
+  t.on_data(id(0));
+  t.on_data(id(1000));
+  EXPECT_EQ(t.size(), 200u);
+  EXPECT_EQ(t.abandoned(), 999u - 200u);
+  EXPECT_TRUE(t.contains(id(999)));
+  EXPECT_FALSE(t.contains(id(1)));
+}
+
+}  // namespace
+}  // namespace ag::gossip

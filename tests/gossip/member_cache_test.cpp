@@ -1,0 +1,85 @@
+#include "gossip/member_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ag::gossip {
+namespace {
+
+const sim::SimTime kT1 = sim::SimTime::seconds(1);
+const sim::SimTime kT2 = sim::SimTime::seconds(2);
+
+TEST(MemberCache, ObserveAddsUpToCapacity) {
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 2, kT1);
+  c.observe(net::NodeId{2}, 3, kT1);
+  c.observe(net::NodeId{3}, 4, kT1);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.contains(net::NodeId{1}));
+}
+
+TEST(MemberCache, ObserveExistingUpdatesHops) {
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 5, kT1);
+  c.observe(net::NodeId{1}, 2, kT2);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.entries()[0].numhops, 2);
+}
+
+TEST(MemberCache, ZeroHopsMeansUnknownAndKeepsEstimate) {
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 4, kT1);
+  c.observe(net::NodeId{1}, 0, kT2);  // unknown distance
+  EXPECT_EQ(c.entries()[0].numhops, 4);
+}
+
+TEST(MemberCache, FullCacheEvictsFartherMember) {
+  // Paper: "a member with a greater numhops is deleted".
+  MemberCache c{2};
+  c.observe(net::NodeId{1}, 2, kT1);
+  c.observe(net::NodeId{2}, 8, kT1);
+  c.observe(net::NodeId{3}, 4, kT1);  // closer than node 2
+  EXPECT_TRUE(c.contains(net::NodeId{1}));
+  EXPECT_FALSE(c.contains(net::NodeId{2}));  // farthest evicted
+  EXPECT_TRUE(c.contains(net::NodeId{3}));
+}
+
+TEST(MemberCache, NoFartherMemberEvictsMostRecentlyGossiped) {
+  // Paper: "the member with most recent last_gossip is replaced" (avoids
+  // gossiping with the same members repeatedly).
+  MemberCache c{2};
+  c.observe(net::NodeId{1}, 2, kT1);
+  c.observe(net::NodeId{2}, 2, kT1);
+  c.note_gossiped(net::NodeId{1}, kT2);  // 1 was gossiped with most recently
+  c.observe(net::NodeId{3}, 9, kT2);     // farther than both
+  EXPECT_FALSE(c.contains(net::NodeId{1}));
+  EXPECT_TRUE(c.contains(net::NodeId{2}));
+  EXPECT_TRUE(c.contains(net::NodeId{3}));
+}
+
+TEST(MemberCache, PickRandomFromEmptyIsInvalid) {
+  MemberCache c{2};
+  sim::Rng rng{1};
+  EXPECT_FALSE(c.pick_random(rng).is_valid());
+}
+
+TEST(MemberCache, PickRandomCoversAllEntries) {
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 1, kT1);
+  c.observe(net::NodeId{2}, 1, kT1);
+  c.observe(net::NodeId{3}, 1, kT1);
+  sim::Rng rng{2};
+  bool seen[4] = {};
+  for (int i = 0; i < 200; ++i) seen[c.pick_random(rng).value()] = true;
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+}
+
+TEST(MemberCache, NoteGossipedOnUnknownMemberIsNoop) {
+  MemberCache c{2};
+  c.note_gossiped(net::NodeId{9}, kT1);  // must not crash or insert
+  EXPECT_EQ(c.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ag::gossip

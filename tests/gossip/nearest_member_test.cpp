@@ -1,0 +1,157 @@
+// Nearest-member gradient algebra, including a reconstruction of the
+// paper's Fig. 1 fragment: members D and H bracket the router chain
+// D - E - F - G - H, and "for the router E, the nearest group member
+// through D is at a distance 1 and through F is at a distance 3".
+#include "gossip/nearest_member.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+namespace ag::gossip {
+namespace {
+
+const net::GroupId kG{1};
+
+// Several trackers wired so MODIFY messages deliver synchronously.
+class Mesh {
+ public:
+  NearestMemberTracker& add(net::NodeId id) {
+    auto tracker = std::make_unique<NearestMemberTracker>(
+        [this, id](net::GroupId g, net::NodeId to, std::uint16_t v) {
+          ++messages_sent;
+          if (auto it = trackers_.find(to); it != trackers_.end()) {
+            it->second->on_update_received(g, id, v);
+          }
+        });
+    auto [it, ok] = trackers_.emplace(id, std::move(tracker));
+    (void)ok;
+    return *it->second;
+  }
+
+  // Symmetric tree edge.
+  void link(net::NodeId a, net::NodeId b) {
+    trackers_.at(a)->on_neighbor_added(kG, b, 0);
+    trackers_.at(b)->on_neighbor_added(kG, a, 0);
+  }
+
+  NearestMemberTracker& at(net::NodeId id) { return *trackers_.at(id); }
+  int messages_sent{0};
+
+ private:
+  std::map<net::NodeId, std::unique_ptr<NearestMemberTracker>> trackers_;
+};
+
+const net::NodeId D{1}, E{2}, F{3}, G{4}, H{5};
+
+Mesh build_fig1_fragment() {
+  Mesh mesh;
+  for (net::NodeId n : {D, E, F, G, H}) mesh.add(n);
+  mesh.link(D, E);
+  mesh.link(E, F);
+  mesh.link(F, G);
+  mesh.link(G, H);
+  mesh.at(D).on_self_membership(kG, true);
+  mesh.at(H).on_self_membership(kG, true);
+  return mesh;
+}
+
+TEST(NearestMember, Fig1RouterEValues) {
+  Mesh mesh = build_fig1_fragment();
+  // The paper's example: at E, nearest member through D is 1, through F is 3.
+  EXPECT_EQ(mesh.at(E).value_for(kG, D), 1);
+  EXPECT_EQ(mesh.at(E).value_for(kG, F), 3);
+}
+
+TEST(NearestMember, Fig1FullGradient) {
+  Mesh mesh = build_fig1_fragment();
+  EXPECT_EQ(mesh.at(F).value_for(kG, E), 2);
+  EXPECT_EQ(mesh.at(F).value_for(kG, G), 2);
+  EXPECT_EQ(mesh.at(G).value_for(kG, F), 3);
+  EXPECT_EQ(mesh.at(G).value_for(kG, H), 1);
+  EXPECT_EQ(mesh.at(D).value_for(kG, E), 4);  // D's member is H, 4 hops away
+  EXPECT_EQ(mesh.at(H).value_for(kG, G), 4);
+}
+
+TEST(NearestMember, PaperAdvertisementFormula) {
+  // Paper section 4.2: D with next hops {B, C, E} and values {b, c, e}
+  // sends 1 + min(c, e) to B, 1 + min(b, e) to C, 1 + min(b, c) to E.
+  const net::NodeId center{10}, B{11}, C{12}, Echo{13};
+  Mesh mesh;
+  for (net::NodeId n : {center, B, C, Echo}) mesh.add(n);
+  mesh.link(center, B);
+  mesh.link(center, C);
+  mesh.link(center, Echo);
+  // Inject values b=5, c=2, e=7 as if reported from subtrees.
+  mesh.at(center).on_update_received(kG, B, 5);
+  mesh.at(center).on_update_received(kG, C, 2);
+  mesh.at(center).on_update_received(kG, Echo, 7);
+  EXPECT_EQ(mesh.at(center).advertised_to(kG, B), 1 + 2);     // 1+min(c,e)
+  EXPECT_EQ(mesh.at(center).advertised_to(kG, C), 1 + 5);     // 1+min(b,e)
+  EXPECT_EQ(mesh.at(center).advertised_to(kG, Echo), 1 + 2);  // 1+min(b,c)
+}
+
+TEST(NearestMember, MemberAdvertisesOne) {
+  Mesh mesh;
+  mesh.add(D);
+  mesh.add(E);
+  mesh.link(D, E);
+  mesh.at(D).on_self_membership(kG, true);
+  EXPECT_EQ(mesh.at(D).advertised_to(kG, E), 1);
+  EXPECT_EQ(mesh.at(E).value_for(kG, D), 1);
+}
+
+TEST(NearestMember, UnknownSubtreeIsInfinity) {
+  Mesh mesh;
+  mesh.add(D);
+  mesh.add(E);
+  mesh.link(D, E);
+  // No members anywhere: everything stays at infinity.
+  EXPECT_EQ(mesh.at(E).value_for(kG, D), NearestMemberTracker::kInfinity);
+  EXPECT_EQ(mesh.at(E).advertised_to(kG, D), NearestMemberTracker::kInfinity);
+}
+
+TEST(NearestMember, MembershipLossPropagates) {
+  Mesh mesh = build_fig1_fragment();
+  ASSERT_EQ(mesh.at(E).value_for(kG, D), 1);
+  mesh.at(D).on_self_membership(kG, false);
+  // D no longer a member: the nearest member through D (via E's link) is
+  // now H... but H lies the other way, so through D there is nothing.
+  EXPECT_EQ(mesh.at(E).value_for(kG, D), NearestMemberTracker::kInfinity);
+  // And G's view through F now only leads to nothing past E.
+  EXPECT_EQ(mesh.at(G).value_for(kG, F), NearestMemberTracker::kInfinity);
+}
+
+TEST(NearestMember, NeighborRemovalRecomputes) {
+  Mesh mesh = build_fig1_fragment();
+  // Remove the F-G edge: E's value through F must go to infinity.
+  mesh.at(F).on_neighbor_removed(kG, G);
+  EXPECT_EQ(mesh.at(E).value_for(kG, F), NearestMemberTracker::kInfinity);
+}
+
+TEST(NearestMember, MemberDistanceHintSeedsValue) {
+  Mesh mesh;
+  mesh.add(D);
+  mesh.at(D).on_neighbor_added(kG, E, 1);  // hint: E itself is a member
+  EXPECT_EQ(mesh.at(D).value_for(kG, E), 1);
+}
+
+TEST(NearestMember, ChangeSuppressionLimitsTraffic) {
+  Mesh mesh = build_fig1_fragment();
+  const int settled = mesh.messages_sent;
+  // Re-announcing the same membership produces no new MODIFY messages.
+  mesh.at(D).on_self_membership(kG, true);
+  EXPECT_EQ(mesh.messages_sent, settled);
+}
+
+TEST(NearestMember, StaleUpdateFromNonNeighborIgnored) {
+  Mesh mesh;
+  mesh.add(D);
+  mesh.at(D).on_update_received(kG, net::NodeId{99}, 2);
+  EXPECT_EQ(mesh.at(D).value_for(kG, net::NodeId{99}),
+            NearestMemberTracker::kInfinity);
+}
+
+}  // namespace
+}  // namespace ag::gossip

@@ -1,0 +1,214 @@
+// MAODV tree protocol behaviour: joins, leader election, group hello,
+// data distribution, prune, repair, partition and merge.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testutil/stack_fixture.h"
+
+namespace ag::maodv {
+namespace {
+
+using testutil::StaticNetwork;
+using testutil::kGroup;
+using testutil::line_positions;
+
+testutil::StackOptions no_gossip() {
+  testutil::StackOptions opts;
+  opts.gossip_enabled = false;
+  return opts;
+}
+
+TEST(Maodv, FirstMemberBecomesLeader) {
+  StaticNetwork net{line_positions(3, 80.0), no_gossip()};
+  net.run_for(1.0);
+  net.router(0).join_group(kGroup);
+  net.run_for(10.0);  // join retries exhaust, then leadership
+  const GroupEntry* e = net.router(0).group_entry(kGroup);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->is_leader);
+  EXPECT_TRUE(e->is_member);
+  EXPECT_EQ(e->leader, net::NodeId{0});
+  EXPECT_EQ(e->hops_to_leader, 0);
+}
+
+TEST(Maodv, SecondMemberJoinsExistingTree) {
+  StaticNetwork net{line_positions(3, 80.0), no_gossip()};
+  net.join_all({0}, 10.0);
+  net.router(2).join_group(kGroup);
+  net.run_for(10.0);
+  const GroupEntry* e2 = net.router(2).group_entry(kGroup);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_TRUE(e2->on_tree());
+  EXPECT_FALSE(e2->is_leader);
+  EXPECT_EQ(e2->leader, net::NodeId{0});
+  // The intermediate node became a tree router without being a member.
+  const GroupEntry* e1 = net.router(1).group_entry(kGroup);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_TRUE(e1->on_tree());
+  EXPECT_FALSE(e1->is_member);
+  EXPECT_EQ(e1->enabled_count(), 2u);
+  EXPECT_EQ(net.leader_count(), 1);
+}
+
+TEST(Maodv, GroupHelloDistributesLeaderAndHopCounts) {
+  StaticNetwork net{line_positions(4, 80.0), no_gossip()};
+  // Sequential joins: 0 settles as the unambiguous leader before 3 joins
+  // (simultaneous joins may elect 3 and merge the other way).
+  net.join_all({0}, 10.0);
+  net.join_all({3}, 20.0);
+  const GroupEntry* e3 = net.router(3).group_entry(kGroup);
+  ASSERT_NE(e3, nullptr);
+  EXPECT_EQ(e3->leader, net::NodeId{0});
+  EXPECT_EQ(e3->hops_to_leader, 3);
+  EXPECT_EQ(net.router(1).group_entry(kGroup)->hops_to_leader, 1);
+  EXPECT_EQ(net.router(2).group_entry(kGroup)->hops_to_leader, 2);
+}
+
+TEST(Maodv, MulticastDataReachesAllMembersOverTree) {
+  StaticNetwork net{line_positions(5, 80.0), no_gossip()};
+  net.join_all({0, 2, 4}, 20.0);
+  ASSERT_TRUE(net.all_on_tree({0, 2, 4}));
+  // Paced like the paper's CBR source; an instantaneous burst would lose
+  // packets to hidden-terminal collisions between pipeline forwarders
+  // (that loss mode is exercised by the gossip recovery tests instead).
+  for (int i = 0; i < 10; ++i) {
+    net.sim().schedule_after(sim::Duration::ms(200 * i),
+                             [&net] { net.router(0).send_multicast(kGroup, 64); });
+  }
+  net.run_for(10.0);
+  EXPECT_EQ(net.agent(2).counters().delivered_unique, 10u);
+  EXPECT_EQ(net.agent(4).counters().delivered_unique, 10u);
+  // Non-members forward but do not deliver.
+  EXPECT_EQ(net.agent(1).counters().delivered_unique, 0u);
+  EXPECT_GT(net.router(1).mcast_counters().data_forwarded, 0u);
+}
+
+TEST(Maodv, DataFlowsUpstreamFromLeafMember) {
+  StaticNetwork net{line_positions(4, 80.0), no_gossip()};
+  net.join_all({0, 3}, 20.0);
+  for (int i = 0; i < 5; ++i) {
+    net.sim().schedule_after(sim::Duration::ms(200 * i),
+                             [&net] { net.router(3).send_multicast(kGroup, 64); });
+  }
+  net.run_for(6.0);
+  EXPECT_EQ(net.agent(0).counters().delivered_unique, 5u);
+}
+
+TEST(Maodv, DuplicateDataSuppressed) {
+  StaticNetwork net{line_positions(3, 80.0), no_gossip()};
+  net.join_all({0, 2}, 20.0);
+  net.router(0).send_multicast(kGroup, 64);
+  net.run_for(5.0);
+  EXPECT_EQ(net.agent(2).counters().delivered_unique, 1u);
+  EXPECT_EQ(net.agent(2).counters().duplicates, 0u);
+}
+
+TEST(Maodv, LeafMemberLeavingPrunesItselfAndOrphanRouters) {
+  StaticNetwork net{line_positions(5, 80.0), no_gossip()};
+  // Sequential joins pin the leadership to node 0; a simultaneous cold
+  // start may legitimately elect node 4 (merge keeps the higher id).
+  net.join_all({0}, 10.0);
+  net.join_all({4}, 20.0);
+  ASSERT_TRUE(net.router(2).on_tree(kGroup));
+  net.router(4).leave_group(kGroup);
+  net.run_for(10.0);
+  // 4 left; routers 1..3 had no other branch and must cascade-prune.
+  EXPECT_FALSE(net.router(4).on_tree(kGroup));
+  EXPECT_FALSE(net.router(3).on_tree(kGroup));
+  EXPECT_FALSE(net.router(2).on_tree(kGroup));
+  // Leader 0 remains (it is still a member).
+  EXPECT_TRUE(net.router(0).on_tree(kGroup));
+}
+
+TEST(Maodv, InteriorMemberLeavingStaysRouter) {
+  StaticNetwork net{line_positions(5, 80.0), no_gossip()};
+  net.join_all({0, 2, 4}, 20.0);
+  net.router(2).leave_group(kGroup);
+  net.run_for(5.0);
+  const GroupEntry* e = net.router(2).group_entry(kGroup);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->is_member);
+  EXPECT_TRUE(e->on_tree());  // still forwards between 0 and 4
+  net.router(0).send_multicast(kGroup, 64);
+  net.run_for(3.0);
+  EXPECT_EQ(net.agent(4).counters().delivered_unique, 1u);
+}
+
+TEST(Maodv, TreeRepairsAroundFailedRouter) {
+  // Line 0-1-2 with a parallel relay 3 near node 1; members 0 and 2.
+  std::vector<mobility::Vec2> pos = {{0, 0}, {80, 0}, {160, 0}, {80, 60}};
+  StaticNetwork net{pos, no_gossip()};
+  net.join_all({0, 2}, 20.0);
+  net.router(0).send_multicast(kGroup, 64);
+  net.run_for(3.0);
+  ASSERT_EQ(net.agent(2).counters().delivered_unique, 1u);
+
+  net.mobility().move_to(1, {5000.0, 0.0});  // kill the original relay
+  net.run_for(30.0);                          // hello timeout + repair
+
+  net.router(0).send_multicast(kGroup, 64);
+  net.run_for(5.0);
+  EXPECT_EQ(net.agent(2).counters().delivered_unique, 2u);
+  EXPECT_EQ(net.leader_count(), 1);
+}
+
+TEST(Maodv, PartitionElectsSecondLeaderThenMergesOnReconnect) {
+  StaticNetwork net{line_positions(4, 80.0), no_gossip()};
+  net.join_all({0}, 10.0);
+  net.join_all({3}, 20.0);
+  ASSERT_EQ(net.leader_count(), 1);
+
+  // Physically partition: 2 and 3 move far from 0 and 1 but stay together.
+  net.mobility().move_to(2, {5000.0, 0.0});
+  net.mobility().move_to(3, {5080.0, 0.0});
+  net.run_for(40.0);  // timeout, repair failure, partition leader election
+  EXPECT_EQ(net.leader_count(), 2);
+
+  // Reconnect.
+  net.mobility().move_to(2, {160.0, 0.0});
+  net.mobility().move_to(3, {240.0, 0.0});
+  net.run_for(60.0);  // group hellos cross, lower-id leader merges
+  EXPECT_EQ(net.leader_count(), 1);
+  // Data flows across the healed tree again.
+  const auto before = net.agent(3).counters().delivered_unique;
+  net.router(0).send_multicast(kGroup, 64);
+  net.run_for(5.0);
+  EXPECT_EQ(net.agent(3).counters().delivered_unique, before + 1);
+}
+
+TEST(Maodv, ColdStartConvergesToSingleLeader) {
+  // Several members joining simultaneously on a connected topology must
+  // end with exactly one leader after the merge protocol settles.
+  StaticNetwork net{line_positions(6, 70.0), no_gossip()};
+  for (std::size_t i : {0u, 2u, 4u, 5u}) net.router(i).join_group(kGroup);
+  net.run_for(90.0);
+  EXPECT_EQ(net.leader_count(), 1);
+  EXPECT_TRUE(net.all_on_tree({0, 2, 4, 5}));
+}
+
+TEST(Maodv, SendMulticastAssignsSequentialSeqs) {
+  StaticNetwork net{line_positions(2, 50.0), no_gossip()};
+  net.join_all({0}, 8.0);
+  EXPECT_EQ(net.router(0).send_multicast(kGroup, 64), 0u);
+  EXPECT_EQ(net.router(0).send_multicast(kGroup, 64), 1u);
+  EXPECT_EQ(net.router(0).send_multicast(kGroup, 64), 2u);
+}
+
+TEST(Maodv, RejoinAfterTotalIsolation) {
+  StaticNetwork net{line_positions(3, 80.0), no_gossip()};
+  net.join_all({0}, 10.0);
+  net.join_all({2}, 20.0);
+  net.mobility().move_to(2, {5000.0, 0.0});
+  net.run_for(40.0);
+  net.mobility().move_to(2, {160.0, 0.0});
+  net.run_for(60.0);
+  EXPECT_EQ(net.leader_count(), 1);
+  const auto before = net.agent(2).counters().delivered_unique;
+  net.router(0).send_multicast(kGroup, 64);
+  net.run_for(5.0);
+  EXPECT_EQ(net.agent(2).counters().delivered_unique, before + 1);
+}
+
+}  // namespace
+}  // namespace ag::maodv

@@ -1,0 +1,85 @@
+#include "maodv/multicast_route_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ag::maodv {
+namespace {
+
+const net::GroupId kG{1};
+const net::NodeId kA{1};
+const net::NodeId kB{2};
+const net::NodeId kC{3};
+
+TEST(GroupEntry, AddFindRemoveHops) {
+  GroupEntry e;
+  e.add_or_get_hop(kA);
+  e.add_or_get_hop(kB);
+  EXPECT_NE(e.find_hop(kA), nullptr);
+  EXPECT_EQ(e.find_hop(kC), nullptr);
+  EXPECT_TRUE(e.remove_hop(kA));
+  EXPECT_FALSE(e.remove_hop(kA));
+  EXPECT_EQ(e.find_hop(kA), nullptr);
+}
+
+TEST(GroupEntry, AddOrGetIsIdempotent) {
+  GroupEntry e;
+  e.add_or_get_hop(kA).enabled = true;
+  MulticastNextHop& again = e.add_or_get_hop(kA);
+  EXPECT_TRUE(again.enabled);
+  EXPECT_EQ(e.next_hops.size(), 1u);
+}
+
+TEST(GroupEntry, EnabledCountIgnoresPotentialEntries) {
+  GroupEntry e;
+  e.add_or_get_hop(kA).enabled = true;
+  e.add_or_get_hop(kB);  // potential (enabled=false)
+  EXPECT_EQ(e.enabled_count(), 1u);
+  EXPECT_EQ(e.enabled_hops(), std::vector<net::NodeId>{kA});
+}
+
+TEST(GroupEntry, UpstreamTracking) {
+  GroupEntry e;
+  EXPECT_FALSE(e.upstream().is_valid());
+  auto& a = e.add_or_get_hop(kA);
+  a.enabled = true;
+  a.upstream = true;
+  EXPECT_EQ(e.upstream(), kA);
+  e.clear_upstream_flags();
+  EXPECT_FALSE(e.upstream().is_valid());
+}
+
+TEST(GroupEntry, OnTreeRequiresLeaderOrEnabledHop) {
+  GroupEntry e;
+  EXPECT_FALSE(e.on_tree());
+  e.add_or_get_hop(kA);  // not enabled yet
+  EXPECT_FALSE(e.on_tree());
+  e.find_hop(kA)->enabled = true;
+  EXPECT_TRUE(e.on_tree());
+  e.remove_hop(kA);
+  e.is_leader = true;
+  EXPECT_TRUE(e.on_tree());
+}
+
+TEST(GroupEntry, SelfPruneConditionForNonMemberLeaf) {
+  GroupEntry e;
+  e.add_or_get_hop(kA).enabled = true;
+  EXPECT_TRUE(e.should_self_prune());  // non-member leaf router
+  e.is_member = true;
+  EXPECT_FALSE(e.should_self_prune());
+  e.is_member = false;
+  e.add_or_get_hop(kB).enabled = true;
+  EXPECT_FALSE(e.should_self_prune());  // interior router must stay
+}
+
+TEST(MulticastRouteTable, GetOrCreateAndErase) {
+  MulticastRouteTable t;
+  GroupEntry& e = t.get_or_create(kG);
+  EXPECT_EQ(e.group, kG);
+  EXPECT_EQ(t.find(kG), &e);
+  EXPECT_EQ(t.size(), 1u);
+  t.erase(kG);
+  EXPECT_EQ(t.find(kG), nullptr);
+}
+
+}  // namespace
+}  // namespace ag::maodv

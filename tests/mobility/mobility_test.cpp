@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/highway.h"
+#include "mobility/random_waypoint.h"
+#include "mobility/static_mobility.h"
+#include "sim/simulator.h"
+
+namespace ag::mobility {
+namespace {
+
+TEST(Vec2, DistanceAndNorm) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{1, 1} + Vec2{2, 3}).x, 3.0);
+  EXPECT_DOUBLE_EQ((Vec2{5, 5} - Vec2{2, 1}).y, 4.0);
+  EXPECT_DOUBLE_EQ((Vec2{1, 2} * 2.0).y, 4.0);
+}
+
+TEST(StaticMobility, HoldsPositions) {
+  StaticMobility m{{{1, 2}, {3, 4}}};
+  EXPECT_EQ(m.node_count(), 2u);
+  EXPECT_EQ(m.position_of(0, sim::SimTime::seconds(100)), (Vec2{1, 2}));
+  m.move_to(0, {9, 9});
+  EXPECT_EQ(m.position_of(0, sim::SimTime::zero()), (Vec2{9, 9}));
+}
+
+TEST(StaticMobility, LineBuilder) {
+  StaticMobility m = StaticMobility::line(4, 10.0);
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.position_of(3, {}), (Vec2{30.0, 0.0}));
+}
+
+TEST(StaticMobility, GridBuilder) {
+  StaticMobility m = StaticMobility::grid(3, 2, 5.0);
+  EXPECT_EQ(m.node_count(), 6u);
+  EXPECT_EQ(m.position_of(4, {}), (Vec2{5.0, 5.0}));  // col 1, row 1
+}
+
+class RandomWaypointTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWaypointTest, PositionsStayWithinArea) {
+  sim::Simulator sim{GetParam()};
+  RandomWaypointConfig cfg;
+  cfg.max_speed_mps = 5.0;
+  cfg.max_pause_s = 10.0;
+  RandomWaypoint rwp{sim, 10, cfg, sim.rng().stream("mobility")};
+  for (int t = 0; t <= 600; t += 7) {
+    sim.run_until(sim::SimTime::seconds(t));
+    for (std::size_t i = 0; i < 10; ++i) {
+      const Vec2 p = rwp.position_of(i, sim.now());
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, cfg.area_width_m);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, cfg.area_height_m);
+    }
+  }
+}
+
+TEST_P(RandomWaypointTest, MotionRespectsSpeedBound) {
+  sim::Simulator sim{GetParam()};
+  RandomWaypointConfig cfg;
+  cfg.max_speed_mps = 2.0;
+  cfg.max_pause_s = 5.0;
+  RandomWaypoint rwp{sim, 5, cfg, sim.rng().stream("mobility")};
+  Vec2 prev[5];
+  sim.run_until(sim::SimTime::zero());
+  for (std::size_t i = 0; i < 5; ++i) prev[i] = rwp.position_of(i, sim.now());
+  const double dt = 0.5;
+  for (double t = dt; t < 120.0; t += dt) {
+    sim.run_until(sim::SimTime::seconds(t));
+    for (std::size_t i = 0; i < 5; ++i) {
+      const Vec2 p = rwp.position_of(i, sim.now());
+      // Allow a tiny epsilon for floating-point interpolation.
+      EXPECT_LE(distance(prev[i], p), cfg.max_speed_mps * dt + 1e-6);
+      prev[i] = p;
+    }
+  }
+}
+
+TEST_P(RandomWaypointTest, PositionIsContinuousAcrossLegChanges) {
+  sim::Simulator sim{GetParam()};
+  RandomWaypointConfig cfg;
+  cfg.max_speed_mps = 10.0;
+  cfg.max_pause_s = 1.0;
+  RandomWaypoint rwp{sim, 3, cfg, sim.rng().stream("mobility")};
+  Vec2 prev = rwp.position_of(0, sim.now());
+  for (double t = 0.05; t < 200.0; t += 0.05) {
+    sim.run_until(sim::SimTime::seconds(t));
+    const Vec2 p = rwp.position_of(0, sim.now());
+    EXPECT_LE(distance(prev, p), 10.0 * 0.05 + 1e-6) << "jump at t=" << t;
+    prev = p;
+  }
+}
+
+TEST_P(RandomWaypointTest, NodesActuallyMove) {
+  sim::Simulator sim{GetParam()};
+  RandomWaypointConfig cfg;
+  cfg.min_speed_mps = 1.0;
+  cfg.max_speed_mps = 2.0;
+  cfg.max_pause_s = 1.0;
+  RandomWaypoint rwp{sim, 4, cfg, sim.rng().stream("mobility")};
+  const Vec2 start = rwp.position_of(0, sim.now());
+  sim.run_until(sim::SimTime::seconds(60));
+  double moved = distance(start, rwp.position_of(0, sim.now()));
+  // After 60 s at >= 1 m/s with short pauses the node cannot still be at
+  // its starting point (destinations could coincidentally be close, so
+  // only require *some* displacement over the observation).
+  double max_disp = moved;
+  for (double t = 61; t < 120; t += 1) {
+    sim.run_until(sim::SimTime::seconds(t));
+    max_disp = std::max(max_disp, distance(start, rwp.position_of(0, sim.now())));
+  }
+  EXPECT_GT(max_disp, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWaypointTest, ::testing::Values(1, 7, 42, 1234));
+
+TEST(Highway, WrapsAroundAndKeepsLane) {
+  sim::Rng rng{5};
+  HighwayConfig cfg;
+  cfg.length_m = 100.0;
+  cfg.lanes = 2;
+  cfg.min_speed_mps = 10.0;
+  cfg.max_speed_mps = 10.0;
+  HighwayMobility hw{4, cfg, rng};
+  for (double t = 0; t < 60; t += 0.5) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Vec2 p = hw.position_of(i, sim::SimTime::seconds(t));
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LT(p.x, cfg.length_m);
+      EXPECT_DOUBLE_EQ(p.y, static_cast<double>(i % 2) * cfg.lane_spacing_m);
+    }
+  }
+}
+
+TEST(Highway, OppositeLanesMoveInOppositeDirections) {
+  sim::Rng rng{6};
+  HighwayConfig cfg;
+  cfg.length_m = 10000.0;  // long stretch: no wraparound during the test
+  cfg.lanes = 2;
+  cfg.min_speed_mps = 20.0;
+  cfg.max_speed_mps = 20.0;
+  HighwayMobility hw{2, cfg, rng};
+  const double dx0 = hw.position_of(0, sim::SimTime::seconds(1)).x -
+                     hw.position_of(0, sim::SimTime::zero()).x;
+  const double dx1 = hw.position_of(1, sim::SimTime::seconds(1)).x -
+                     hw.position_of(1, sim::SimTime::zero()).x;
+  EXPECT_GT(dx0, 0.0);
+  EXPECT_LT(dx1, 0.0);
+}
+
+}  // namespace
+}  // namespace ag::mobility

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/data.h"
+#include "net/ids.h"
+#include "net/packet.h"
+
+namespace ag::net {
+namespace {
+
+TEST(Ids, InvalidAndBroadcastAreDistinct) {
+  EXPECT_FALSE(NodeId::invalid().is_valid());
+  EXPECT_TRUE(NodeId::broadcast().is_valid());
+  EXPECT_TRUE(NodeId::broadcast().is_broadcast());
+  EXPECT_NE(NodeId::invalid(), NodeId::broadcast());
+}
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  EXPECT_FALSE(NodeId{}.is_valid());
+  EXPECT_FALSE(GroupId{}.is_valid());
+}
+
+TEST(Ids, HashableAndComparable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_LT(NodeId{1}, NodeId{2});
+}
+
+TEST(SeqNo, FresherThanHandlesWraparound) {
+  EXPECT_TRUE(SeqNo{2}.fresher_than(SeqNo{1}));
+  EXPECT_FALSE(SeqNo{1}.fresher_than(SeqNo{2}));
+  EXPECT_FALSE(SeqNo{1}.fresher_than(SeqNo{1}));
+  EXPECT_TRUE(SeqNo{1}.at_least_as_fresh_as(SeqNo{1}));
+  // Wraparound: 0 is fresher than 0xFFFFFFFF.
+  EXPECT_TRUE(SeqNo{0}.fresher_than(SeqNo{0xFFFFFFFF}));
+  EXPECT_FALSE(SeqNo{0xFFFFFFFF}.fresher_than(SeqNo{0}));
+}
+
+TEST(SeqNo, NextIncrements) {
+  EXPECT_EQ(SeqNo{41}.next(), SeqNo{42});
+  EXPECT_EQ(SeqNo{0xFFFFFFFF}.next(), SeqNo{0});
+}
+
+TEST(MsgId, OrderingAndHash) {
+  std::unordered_set<MsgId> set;
+  set.insert({NodeId{1}, 5});
+  set.insert({NodeId{1}, 5});
+  set.insert({NodeId{1}, 6});
+  set.insert({NodeId{2}, 5});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_LT((MsgId{NodeId{1}, 5}), (MsgId{NodeId{1}, 6}));
+}
+
+TEST(Packet, TypedAccessors) {
+  Packet p;
+  p.payload = aodv::HelloMsg{NodeId{3}, SeqNo{1}};
+  EXPECT_TRUE(p.is<aodv::HelloMsg>());
+  EXPECT_FALSE(p.is<MulticastData>());
+  ASSERT_NE(p.get_if<aodv::HelloMsg>(), nullptr);
+  EXPECT_EQ(p.get_if<aodv::HelloMsg>()->origin, NodeId{3});
+  EXPECT_EQ(p.get_if<MulticastData>(), nullptr);
+}
+
+TEST(Packet, WireBytesReflectPayloadSize) {
+  Packet data;
+  MulticastData d;
+  d.payload_bytes = 64;
+  data.payload = d;
+  // 20 IP + 8 encapsulation + 64 payload.
+  EXPECT_EQ(data.wire_bytes(), 92u);
+
+  Packet hello;
+  hello.payload = aodv::HelloMsg{};
+  EXPECT_EQ(hello.wire_bytes(), 32u);
+
+  Packet gossip_small, gossip_large;
+  gossip::GossipMsg small;
+  small.lost = {MsgId{NodeId{1}, 2}};
+  gossip::GossipMsg large = small;
+  large.lost.resize(10, MsgId{NodeId{1}, 3});
+  gossip_small.payload = small;
+  gossip_large.payload = large;
+  EXPECT_GT(gossip_large.wire_bytes(), gossip_small.wire_bytes());
+}
+
+TEST(Packet, TreeScopedGrphCarriesChildListBytes) {
+  Packet flood, beat;
+  maodv::GrphMsg f;
+  maodv::GrphMsg b;
+  b.tree_scoped = true;
+  b.tree_children = {NodeId{1}, NodeId{2}, NodeId{3}};
+  flood.payload = f;
+  beat.payload = b;
+  EXPECT_EQ(beat.wire_bytes() - flood.wire_bytes(), 12u);  // 3 children x 4 B
+}
+
+TEST(Packet, PushedGossipDataDominatesMessageSize) {
+  Packet pull, push;
+  gossip::GossipMsg p;
+  gossip::GossipMsg q;
+  MulticastData d;
+  d.payload_bytes = 64;
+  q.pushed = {d, d};
+  pull.payload = p;
+  push.payload = q;
+  EXPECT_EQ(push.wire_bytes() - pull.wire_bytes(), 2u * (8u + 64u));
+}
+
+TEST(Packet, OdmrpMessageSizes) {
+  Packet query, reply;
+  query.payload = odmrp::JoinQueryMsg{};
+  odmrp::JoinReplyMsg jr;
+  jr.entries.push_back({NodeId{1}, NodeId{2}, 3});
+  jr.entries.push_back({NodeId{1}, NodeId{4}, 3});
+  reply.payload = jr;
+  EXPECT_EQ(query.wire_bytes(), 20u + 16u);
+  EXPECT_EQ(reply.wire_bytes(), 20u + 8u + 2u * 12u);
+}
+
+TEST(Packet, RerrGrowsWithUnreachableList) {
+  Packet p1, p2;
+  aodv::RerrMsg one, two;
+  one.unreachable.push_back({NodeId{1}, SeqNo{1}});
+  two.unreachable.push_back({NodeId{1}, SeqNo{1}});
+  two.unreachable.push_back({NodeId{2}, SeqNo{4}});
+  p1.payload = one;
+  p2.payload = two;
+  EXPECT_EQ(p2.wire_bytes() - p1.wire_bytes(), 8u);
+}
+
+}  // namespace
+}  // namespace ag::net

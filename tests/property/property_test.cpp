@@ -1,0 +1,122 @@
+// Property-style sweeps (TEST_P over seeds): structural invariants that
+// must hold for any random scenario, not just hand-picked topologies.
+#include <gtest/gtest.h>
+
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "testutil/stack_fixture.h"
+
+namespace ag {
+namespace {
+
+using harness::kGroup;
+
+class SeededScenario : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  harness::ScenarioConfig config() const {
+    harness::ScenarioConfig c;
+    c.seed = GetParam();
+    c.node_count = 20;
+    c.phy.transmission_range_m = 70.0;
+    c.waypoint.max_speed_mps = 1.0;
+    c.duration = sim::SimTime::seconds(90.0);
+    c.workload.start = sim::SimTime::seconds(20.0);
+    c.workload.end = sim::SimTime::seconds(80.0);
+    return c;
+  }
+};
+
+TEST_P(SeededScenario, SinkNeverSeesDuplicatesOrPhantoms) {
+  harness::ScenarioConfig c = config();
+  c.with_protocol(harness::Protocol::maodv_gossip);
+  harness::Network net{c};
+  net.run();
+  const std::uint32_t sent = net.packets_sent();
+  for (std::size_t i = 1; i < c.member_count(); ++i) {
+    // The sink counts the agent's deduplicated deliveries; they can never
+    // exceed what the source emitted.
+    EXPECT_LE(net.sink(i)->received(), sent);
+    // And the agent's own accounting must agree with the sink's.
+    EXPECT_EQ(net.sink(i)->received(), net.agent(i).counters().delivered_unique);
+  }
+}
+
+TEST_P(SeededScenario, GossipRepliesNeverExceedRequestsServed) {
+  harness::ScenarioConfig c = config();
+  c.with_protocol(harness::Protocol::maodv_gossip);
+  harness::Network net{c};
+  net.run();
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const auto& g = net.agent(i).counters();
+    EXPECT_LE(g.replies_sent,
+              g.requests_handled * net.agent(i).params().reply_budget);
+    EXPECT_LE(g.replies_useful, g.replies_received);
+  }
+}
+
+TEST_P(SeededScenario, TreeSettlesToSingleUpstreamPerNode) {
+  harness::ScenarioConfig c = config();
+  c.waypoint.max_speed_mps = 0.0;  // static topology after placement
+  c.with_protocol(harness::Protocol::maodv);
+  harness::Network net{c};
+  net.run_until(sim::SimTime::seconds(60.0));
+  int leaders = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const maodv::GroupEntry* e = net.router(i)->group_entry(kGroup);
+    if (e == nullptr || !e->on_tree()) continue;
+    if (e->is_leader) {
+      ++leaders;
+      EXPECT_FALSE(e->upstream().is_valid()) << "leader must have no upstream";
+    }
+    // At most one activated upstream hop (single-parent invariant).
+    int upstreams = 0;
+    for (const auto& h : e->next_hops) {
+      if (h.enabled && h.upstream) ++upstreams;
+    }
+    EXPECT_LE(upstreams, 1);
+  }
+  EXPECT_GE(leaders, 1);
+}
+
+TEST_P(SeededScenario, StaticConnectedNetworkConvergesToOneLeader) {
+  harness::ScenarioConfig c = config();
+  c.waypoint.max_speed_mps = 0.0;
+  c.phy.transmission_range_m = 90.0;  // dense: very likely connected
+  c.with_protocol(harness::Protocol::maodv);
+  harness::Network net{c};
+  net.run_until(sim::SimTime::seconds(80.0));
+  int leaders = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const maodv::GroupEntry* e = net.router(i)->group_entry(kGroup);
+    if (e != nullptr && e->is_leader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST_P(SeededScenario, MemberDeliveryCountsAreMonotoneInProtocol) {
+  // AG = MAODV + recovery, so per-run mean delivery must not get worse.
+  harness::ScenarioConfig c = config();
+  c.with_protocol(harness::Protocol::maodv);
+  const double plain = harness::run_scenario(c).received_summary().mean;
+  c.with_protocol(harness::Protocol::maodv_gossip);
+  const double gossip = harness::run_scenario(c).received_summary().mean;
+  EXPECT_GE(gossip, plain * 0.95);  // tolerate tiny noise from extra traffic
+}
+
+TEST_P(SeededScenario, ChannelCountsConsistent) {
+  harness::ScenarioConfig c = config();
+  c.with_protocol(harness::Protocol::maodv_gossip);
+  harness::Network net{c};
+  net.run();
+  const stats::RunResult r = net.result();
+  // Every MAC transmission goes over the channel exactly once (data +
+  // broadcast + acks); channel count can only exceed MAC data counts.
+  EXPECT_GE(r.totals.channel_transmissions,
+            r.totals.mac_unicast + r.totals.mac_broadcast);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededScenario,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace ag

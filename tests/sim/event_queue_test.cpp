@@ -1,0 +1,115 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ag::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(SimTime::ms(30), [&] { fired.push_back(3); });
+  q.schedule(SimTime::ms(10), [&] { fired.push_back(1); });
+  q.schedule(SimTime::ms(20), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(SimTime::ms(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue q;
+  q.schedule(SimTime::ms(42), [] {});
+  q.schedule(SimTime::ms(7), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::ms(7));
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(SimTime::ms(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  EventId id = q.schedule(SimTime::ms(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop) {
+  EventQueue q;
+  EventId id = q.schedule(SimTime::ms(1), [] {});
+  q.pop().action();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelMiddleEventPreservesOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(SimTime::ms(1), [&] { fired.push_back(1); });
+  EventId mid = q.schedule(SimTime::ms(2), [&] { fired.push_back(2); });
+  q.schedule(SimTime::ms(3), [&] { fired.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledFront) {
+  EventQueue q;
+  EventId front = q.schedule(SimTime::ms(1), [] {});
+  q.schedule(SimTime::ms(9), [] {});
+  q.cancel(front);
+  EXPECT_EQ(q.next_time(), SimTime::ms(9));
+}
+
+TEST(EventQueue, SizeTracksLiveEventsOnly) {
+  EventQueue q;
+  EventId a = q.schedule(SimTime::ms(1), [] {});
+  q.schedule(SimTime::ms(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyInterleavedScheduleCancel) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(SimTime::us(i), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace ag::sim

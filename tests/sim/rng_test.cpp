@@ -1,0 +1,101 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ag::sim {
+namespace {
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng{2};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == 0;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbabilityRoughly) {
+  Rng rng{3};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexPrefersHeavyWeights) {
+  Rng rng{4};
+  std::vector<double> weights{1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng{5};
+  std::vector<double> weights{0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) counts[rng.weighted_index(weights)]++;
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(RngFactory, SameSeedSameStreamIsDeterministic) {
+  RngFactory f1{99}, f2{99};
+  Rng a = f1.stream("mac", 3);
+  Rng b = f2.stream("mac", 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngFactory, DifferentStreamNamesDecorrelate) {
+  RngFactory f{99};
+  Rng a = f.stream("mac");
+  Rng b = f.stream("mobility");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngFactory, DifferentInstancesDecorrelate) {
+  RngFactory f{99};
+  Rng a = f.stream("mac", 0);
+  Rng b = f.stream("mac", 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngFactory, DifferentSeedsDecorrelate) {
+  Rng a = RngFactory{1}.stream("x");
+  Rng b = RngFactory{2}.stream("x");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ExponentialHasRoughlyRequestedMean) {
+  Rng rng{6};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+}  // namespace
+}  // namespace ag::sim

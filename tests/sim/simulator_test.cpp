@@ -1,0 +1,166 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/timer.h"
+
+namespace ag::sim {
+namespace {
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime t = SimTime::seconds(1.5);
+  EXPECT_EQ(t.count_us(), 1'500'000);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.5);
+  EXPECT_EQ(t + Duration::ms(500), SimTime::seconds(2.0));
+  EXPECT_EQ(t - SimTime::seconds(1.0), Duration::ms(500));
+  EXPECT_LT(SimTime::zero(), t);
+}
+
+TEST(Duration, ScalingAndDivision) {
+  const Duration d = Duration::ms(100);
+  EXPECT_EQ(d * std::int64_t{3}, Duration::ms(300));
+  EXPECT_EQ(d / 2, Duration::ms(50));
+  EXPECT_EQ(d.scaled(0.5), Duration::ms(50));
+  EXPECT_TRUE(Duration::zero().is_zero());
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(SimTime::seconds(1.0), [&] { times.push_back(sim.now().to_seconds()); });
+  sim.schedule_at(SimTime::seconds(2.0), [&] { times.push_back(sim.now().to_seconds()); });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(2.0), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(3.0), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2.0));  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.0));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(Duration::ms(1), recurse);
+  };
+  sim.schedule_after(Duration::ms(1), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::ms(5));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime inner;
+  sim.schedule_at(SimTime::ms(10), [&] {
+    sim.schedule_after(Duration::ms(5), [&] { inner = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(inner, SimTime::ms(15));
+}
+
+TEST(Timer, FiresOnceAfterDelay) {
+  Simulator sim;
+  int fired = 0;
+  Timer t{sim, [&] { ++fired; }};
+  t.restart(Duration::ms(10));
+  EXPECT_TRUE(t.pending());
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RestartReplacesPreviousSchedule) {
+  Simulator sim;
+  int fired = 0;
+  Timer t{sim, [&] { ++fired; }};
+  t.restart(Duration::ms(10));
+  t.restart(Duration::ms(50));
+  sim.run_until(SimTime::ms(20));
+  EXPECT_EQ(fired, 0);  // the 10 ms schedule was cancelled
+  sim.run_until(SimTime::ms(60));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t{sim, [&] { ++fired; }};
+  t.restart(Duration::ms(10));
+  t.cancel();
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DestructionCancelsOutstandingEvent) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t{sim, [&] { ++fired; }};
+    t.restart(Duration::ms(10));
+  }
+  sim.run_all();  // must not crash or fire
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CanRestartItselfFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t{sim, [&] {
+    if (++fired < 3) t.restart(Duration::ms(1));
+  }};
+  t.restart(Duration::ms(1));
+  sim.run_all();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimer, TicksAtFixedPeriod) {
+  Simulator sim;
+  std::vector<std::int64_t> ticks;
+  PeriodicTimer t{sim, [&] { ticks.push_back(sim.now().count_us()); }};
+  t.start(Duration::ms(100));
+  sim.run_until(SimTime::ms(350));
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{100'000, 200'000, 300'000}));
+}
+
+TEST(PeriodicTimer, StopHaltsTicking) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer t{sim, [&] {
+    if (++ticks == 2) t.stop();
+  }};
+  t.start(Duration::ms(10));
+  sim.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, JitterStaysWithinBound) {
+  Simulator sim;
+  Rng rng{7};
+  std::vector<std::int64_t> ticks;
+  PeriodicTimer t{sim, [&] { ticks.push_back(sim.now().count_us()); }};
+  t.start(Duration::ms(100), &rng, Duration::ms(20));
+  sim.run_until(SimTime::seconds(2.0));
+  ASSERT_GE(ticks.size(), 10u);
+  std::int64_t prev = 0;
+  for (std::int64_t tick : ticks) {
+    const std::int64_t gap = tick - prev;
+    EXPECT_GE(gap, 100'000);
+    EXPECT_LT(gap, 120'000);
+    prev = tick;
+  }
+}
+
+}  // namespace
+}  // namespace ag::sim

@@ -1,0 +1,130 @@
+// Test utility: assembles full protocol stacks (radio/MAC/MAODV/gossip)
+// on a hand-placed static topology, so routing and gossip tests can build
+// lines, grids and the paper's Fig. 1 tree deterministically.
+#ifndef AG_TESTS_TESTUTIL_STACK_FIXTURE_H
+#define AG_TESTS_TESTUTIL_STACK_FIXTURE_H
+
+#include <memory>
+#include <vector>
+
+#include "gossip/gossip_agent.h"
+#include "mac/csma_mac.h"
+#include "maodv/maodv_router.h"
+#include "mobility/static_mobility.h"
+#include "phy/channel.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+
+namespace ag::testutil {
+
+inline constexpr net::GroupId kGroup{1};
+
+struct StackOptions {
+  double range_m{100.0};
+  std::uint64_t seed{42};
+  bool gossip_enabled{true};
+  gossip::GossipParams gossip{};
+  aodv::AodvParams aodv{};
+  maodv::MaodvParams maodv{};
+};
+
+class StaticNetwork {
+ public:
+  StaticNetwork(std::vector<mobility::Vec2> positions, StackOptions options = {})
+      : options_{options},
+        sim_{options.seed},
+        mobility_{std::move(positions)},
+        channel_{sim_, mobility_, phy::PhyParams{options.range_m, 2e6, 192.0, 3e8}} {
+    options_.gossip.enabled = options.gossip_enabled;
+    const std::size_t n = mobility_.node_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<Node>();
+      const net::NodeId id{static_cast<std::uint32_t>(i)};
+      node->radio = std::make_unique<phy::Radio>(sim_, channel_, i);
+      channel_.attach(node->radio.get());
+      node->mac = std::make_unique<mac::CsmaMac>(sim_, *node->radio, channel_, id,
+                                                 mac::MacParams{},
+                                                 sim_.rng().stream("mac", i));
+      node->router = std::make_unique<maodv::MaodvRouter>(
+          sim_, *node->mac, id, options_.aodv, options_.maodv,
+          sim_.rng().stream("aodv", i));
+      node->agent = std::make_unique<gossip::GossipAgent>(
+          sim_, *node->router, options_.gossip, sim_.rng().stream("gossip", i));
+      node->router->set_observer(node->agent.get());
+      node->router->start();
+      node->agent->start();
+      nodes_.push_back(std::move(node));
+    }
+  }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] phy::Channel& channel() { return channel_; }
+  [[nodiscard]] mobility::StaticMobility& mobility() { return mobility_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] maodv::MaodvRouter& router(std::size_t i) { return *nodes_[i]->router; }
+  [[nodiscard]] gossip::GossipAgent& agent(std::size_t i) { return *nodes_[i]->agent; }
+  [[nodiscard]] mac::CsmaMac& mac(std::size_t i) { return *nodes_[i]->mac; }
+
+  void run_for(double seconds) {
+    sim_.run_until(sim_.now() + sim::Duration::seconds(seconds));
+  }
+
+  // Joins each listed node to the test group, spaced 100 ms apart, then
+  // settles the tree.
+  void join_all(const std::vector<std::size_t>& members, double settle_s = 10.0) {
+    double delay = 0.0;
+    for (std::size_t m : members) {
+      sim_.schedule_after(sim::Duration::seconds(delay),
+                          [this, m] { router(m).join_group(kGroup); });
+      delay += 0.1;
+    }
+    run_for(settle_s);
+  }
+
+  // True when every listed member is attached to the group tree.
+  [[nodiscard]] bool all_on_tree(const std::vector<std::size_t>& members) {
+    for (std::size_t m : members) {
+      const maodv::GroupEntry* e = router(m).group_entry(kGroup);
+      if (e == nullptr || !e->on_tree()) return false;
+    }
+    return true;
+  }
+
+  // Number of distinct leaders currently claimed.
+  [[nodiscard]] int leader_count() {
+    int count = 0;
+    for (std::size_t i = 0; i < size(); ++i) {
+      const maodv::GroupEntry* e = router(i).group_entry(kGroup);
+      if (e != nullptr && e->is_leader) ++count;
+    }
+    return count;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<phy::Radio> radio;
+    std::unique_ptr<mac::CsmaMac> mac;
+    std::unique_ptr<maodv::MaodvRouter> router;
+    std::unique_ptr<gossip::GossipAgent> agent;
+  };
+
+  StackOptions options_;
+  sim::Simulator sim_;
+  mobility::StaticMobility mobility_;
+  phy::Channel channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+// Positions for a line of n nodes spaced `spacing` meters apart.
+inline std::vector<mobility::Vec2> line_positions(std::size_t n, double spacing) {
+  std::vector<mobility::Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<double>(i) * spacing, 0.0});
+  }
+  return out;
+}
+
+}  // namespace ag::testutil
+
+#endif  // AG_TESTS_TESTUTIL_STACK_FIXTURE_H
