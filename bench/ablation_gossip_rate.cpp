@@ -1,6 +1,7 @@
 // Ablation: gossip rate (paper section 5.5 — "the gossip rate should be
 // tuned so that the network does not get congested and the goodput is
-// nearly 100 percent"). Sweeps the round interval from 4 s to 250 ms.
+// nearly 100 percent"). Sweeps the round interval from 4 s to 250 ms on
+// the ExperimentBuilder (seeds in parallel, JSON emitted).
 #include <cstdio>
 
 #include "figure_common.h"
@@ -9,21 +10,32 @@ int main() {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
 
+  harness::ScenarioConfig base = bench::paper_base();
+  base.with_range(55.0).with_max_speed(0.2);
+
+  harness::ExperimentResult result =
+      harness::Experiment::sweep("gossip_interval_ms", {4000, 2000, 1000, 500, 250})
+          .base(base)
+          .protocols({harness::Protocol::maodv_gossip})
+          .seeds(seeds)
+          .parallel()
+          .name("ablation_gossip_rate")
+          .run();
+
   std::printf("== Ablation: gossip round interval ==\n");
   std::printf("%-12s | %10s %6s %6s | %9s | %s\n", "interval(ms)", "avg", "min",
               "max", "goodput%", "tx/run");
-  for (std::int64_t ms : {4000, 2000, 1000, 500, 250}) {
-    harness::ScenarioConfig c = bench::paper_base();
-    c.with_range(55.0).with_max_speed(0.2);
-    c.with_protocol(harness::Protocol::maodv_gossip);
-    c.gossip.round_interval = sim::Duration::ms(ms);
-    harness::SeriesPoint pt = harness::run_point(c, seeds, static_cast<double>(ms));
-    std::printf("%-12lld | %10.1f %6.0f %6.0f | %9.2f | %llu\n",
-                static_cast<long long>(ms), pt.received.mean, pt.received.min,
-                pt.received.max, pt.mean_goodput_pct,
+  for (const harness::SeriesPoint& pt : result.series.front().points) {
+    std::printf("%-12g | %10.1f %6.0f %6.0f | %9.2f | %llu\n", pt.x,
+                pt.received.mean, pt.received.min, pt.received.max,
+                pt.mean_goodput_pct,
                 static_cast<unsigned long long>(pt.mean_transmissions));
-    std::fflush(stdout);
   }
-  std::printf("\n");
+  if (result.write_json("BENCH_ablation_gossip_rate.json")) {
+    std::printf("(json written to BENCH_ablation_gossip_rate.json; %u seeds)\n",
+                seeds);
+  } else {
+    std::fprintf(stderr, "error: failed to write BENCH_ablation_gossip_rate.json\n");
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 // Shared plumbing for the per-figure reproduction benches: the paper's
-// base configuration (section 5.1) and sweep helpers producing the
-// Gossip-vs-MAODV series every figure plots.
+// base configuration (section 5.1) and the sweep helper producing the
+// Gossip-vs-MAODV series every figure plots, built on the fluent
+// ExperimentBuilder (seeds run in parallel; results land as a table, a
+// CSV, and a machine-readable BENCH_<fig>.json).
 #ifndef AG_BENCH_FIGURE_COMMON_H
 #define AG_BENCH_FIGURE_COMMON_H
 
@@ -9,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/experiment.h"
+#include "harness/experiment_builder.h"
 #include "harness/figure.h"
 #include "harness/scenario.h"
 
@@ -22,30 +24,45 @@ inline harness::ScenarioConfig paper_base() {
   return c;
 }
 
-// Runs one x-sweep for both protocols and prints/writes the figure.
-// `apply` mutates the config for a given x value.
+// Strips a trailing extension: "fig2.csv" -> "fig2".
+inline std::string stem_of(const std::string& file_name) {
+  const std::size_t dot = file_name.rfind('.');
+  return dot == std::string::npos ? file_name : file_name.substr(0, dot);
+}
+
+// Runs one x-sweep for both protocols (seeds in parallel) and emits the
+// figure as a table, a CSV, and BENCH_<stem>.json. `apply` mutates the
+// config for a given x value.
 inline void run_two_series_figure(
     const std::string& title, const std::string& x_label, const std::string& csv_name,
     const std::vector<double>& xs,
     const std::function<void(harness::ScenarioConfig&, double)>& apply,
     std::uint32_t seeds, harness::ScenarioConfig base = paper_base()) {
-  harness::FigureSeries gossip{"Gossip", {}};
-  harness::FigureSeries maodv{"Maodv", {}};
-  for (double x : xs) {
-    harness::ScenarioConfig c = base;
-    apply(c, x);
-    c.with_protocol(harness::Protocol::maodv_gossip);
-    gossip.points.push_back(harness::run_point(c, seeds, x));
-    c.with_protocol(harness::Protocol::maodv);
-    maodv.points.push_back(harness::run_point(c, seeds, x));
-    std::printf("  [%s x=%g done]\n", title.c_str(), x);
-    std::fflush(stdout);
+  const std::string stem = stem_of(csv_name);
+  const std::string json_name = "BENCH_" + stem + ".json";
+  harness::ExperimentResult result =
+      harness::Experiment::sweep(x_label, xs, apply)
+          .base(base)
+          .protocols({harness::Protocol::maodv_gossip, harness::Protocol::maodv})
+          .seeds(seeds)
+          .parallel()
+          .name(stem)
+          .on_progress([&title](std::size_t done, std::size_t total) {
+            std::printf("  [%s %zu/%zu runs]\n", title.c_str(), done, total);
+            std::fflush(stdout);
+          })
+          .run();
+  result.print(title, x_label);
+  const bool csv_ok = result.write_csv(csv_name);
+  const bool json_ok = result.write_json(json_name);
+  if (!csv_ok || !json_ok) {
+    std::fprintf(stderr, "error: failed to write %s\n",
+                 (!csv_ok ? csv_name : json_name).c_str());
   }
-  harness::print_figure(title, x_label, {gossip, maodv});
-  harness::write_figure_csv(csv_name, {gossip, maodv});
-  std::printf("(csv written to %s; paper used 10 seeds, this run used %u — set "
-              "AG_SEEDS to change)\n\n",
-              csv_name.c_str(), seeds);
+  std::printf("(%s written to %s, %s to %s; paper used 10 seeds, this run "
+              "used %u — set AG_SEEDS to change)\n\n",
+              csv_ok ? "csv" : "NO csv", csv_name.c_str(),
+              json_ok ? "json" : "NO json", json_name.c_str(), seeds);
 }
 
 }  // namespace ag::bench

@@ -1,12 +1,16 @@
 // Quickstart: build the paper's default scenario (40 nodes, 200x200 m,
 // 13-member group, CBR source) and compare bare MAODV with MAODV +
 // Anonymous Gossip on packet delivery — the paper's headline result.
+// Passing protocol names compares any registered substrates instead.
 //
-// Usage: quickstart [seed]
+// Usage: quickstart [seed] [protocol ...]   (e.g. quickstart 7 odmrp odmrp_gossip)
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <vector>
 
 #include "harness/network.h"
+#include "harness/protocol_registry.h"
 #include "harness/scenario.h"
 
 using namespace ag;
@@ -29,7 +33,18 @@ void report(const char* name, const stats::RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  // First argument is the seed when fully numeric; protocol names may
+  // follow (or start at argv[1] when the seed is omitted).
+  std::uint64_t seed = 7;
+  int first_protocol_arg = 1;
+  if (argc > 1) {
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(argv[1], &end, 10);
+    if (end != argv[1] && *end == '\0') {
+      seed = parsed;
+      first_protocol_arg = 2;
+    }
+  }
 
   // A shortened version of the paper's section 5.1 setup so the example
   // finishes quickly: 200 s run, data from 30 s to 170 s (701 packets).
@@ -46,13 +61,27 @@ int main(int argc, char** argv) {
               base.node_count, base.member_count(), base.phy.transmission_range_m,
               base.waypoint.max_speed_mps, static_cast<unsigned long long>(seed));
 
-  harness::ScenarioConfig maodv = base;
-  maodv.with_protocol(harness::Protocol::maodv);
-  report("MAODV", harness::run_scenario(maodv));
+  // Protocols to compare: CLI names resolved through the registry, or the
+  // paper's headline pair by default.
+  const auto& registry = harness::ProtocolRegistry::instance();
+  std::vector<harness::Protocol> protocols;
+  for (int i = first_protocol_arg; i < argc; ++i) {
+    try {
+      protocols.push_back(registry.parse(argv[i]));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  if (protocols.empty()) {
+    protocols = {harness::Protocol::maodv, harness::Protocol::maodv_gossip};
+  }
 
-  harness::ScenarioConfig with_gossip = base;
-  with_gossip.with_protocol(harness::Protocol::maodv_gossip);
-  report("MAODV+Gossip", harness::run_scenario(with_gossip));
+  for (harness::Protocol p : protocols) {
+    harness::ScenarioConfig c = base;
+    c.with_protocol(p);
+    report(registry.name_of(p).c_str(), harness::run_scenario(c));
+  }
 
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "harness/network.h"
+#include "maodv/maodv_router.h"
 #include "harness/scenario.h"
 
 using namespace ag;
@@ -19,7 +20,7 @@ void dump_tree(harness::Network& net, double t_s) {
   std::printf("--- t=%.0fs ---\n", t_s);
   std::size_t members_attached = 0;
   for (std::size_t i = 0; i < net.node_count(); ++i) {
-    const maodv::MaodvRouter* r = net.router(i);
+    const maodv::MaodvRouter* r = net.router_as<maodv::MaodvRouter>(i);
     if (r == nullptr) continue;
     const maodv::GroupEntry* e = r->group_entry(harness::kGroup);
     if (e == nullptr || (!e->on_tree() && !e->is_member)) continue;
@@ -46,7 +47,7 @@ void dump_counters(harness::Network& net) {
   maodv::MaodvRouter::McastCounters total;
   std::uint64_t breaks_mac = 0, breaks_hello = 0;
   for (std::size_t i = 0; i < net.node_count(); ++i) {
-    const maodv::MaodvRouter* r = net.router(i);
+    const maodv::MaodvRouter* r = net.router_as<maodv::MaodvRouter>(i);
     if (r == nullptr) continue;
     const auto& c = r->mcast_counters();
     total.joins_completed += c.joins_completed;

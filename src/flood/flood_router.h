@@ -11,22 +11,26 @@
 #include <unordered_set>
 
 #include "gossip/routing_adapter.h"
+#include "harness/multicast_router.h"
 #include "mac/csma_mac.h"
 #include "net/data.h"
 #include "net/packet.h"
 
 namespace ag::flood {
 
-class FloodRouter final : public mac::MacListener, public gossip::RoutingAdapter {
+class FloodRouter final : public mac::MacListener, public harness::MulticastRouter {
  public:
   FloodRouter(mac::CsmaMac& mac, net::NodeId self, std::uint8_t data_ttl = 32,
               std::size_t dedup_capacity = 8192);
 
-  void set_observer(gossip::RouterObserver* observer) { observer_ = observer; }
+  void set_observer(gossip::RouterObserver* observer) override {
+    observer_ = observer;
+  }
 
-  void join_group(net::GroupId group);
-  void leave_group(net::GroupId group);
-  std::uint32_t send_multicast(net::GroupId group, std::uint16_t payload_bytes);
+  void join_group(net::GroupId group) override;
+  void leave_group(net::GroupId group) override;
+  std::uint32_t send_multicast(net::GroupId group,
+                               std::uint16_t payload_bytes) override;
 
   struct Counters {
     std::uint64_t data_originated{0};
@@ -35,6 +39,12 @@ class FloodRouter final : public mac::MacListener, public gossip::RoutingAdapter
     std::uint64_t duplicates{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // harness::MulticastRouter stats hook: rebroadcasts are the flooding
+  // analogue of tree/mesh data forwarding.
+  void add_totals(stats::NetworkTotals& totals) const override {
+    totals.data_forwarded += counters_.rebroadcasts;
+  }
 
   // mac::MacListener:
   void on_packet_received(const net::Packet& packet, net::NodeId from) override;

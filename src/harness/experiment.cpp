@@ -1,18 +1,19 @@
 #include "harness/experiment.h"
 
-#include <string>
+#include <cerrno>
+#include <cstdio>
+#include <utility>
 
 namespace ag::harness {
 
-SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x) {
+SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
   SeriesPoint point;
   point.x = x;
   std::vector<double> all_received;
   double goodput_sum = 0.0;
   double ratio_sum = 0.0;
   std::uint64_t tx_sum = 0;
-  for (std::uint32_t s = 1; s <= seeds; ++s) {
-    stats::RunResult r = run_scenario(config.with_seed(s));
+  for (stats::RunResult& r : runs) {
     for (double v : r.received_per_member()) all_received.push_back(v);
     goodput_sum += r.mean_goodput_pct();
     ratio_sum += r.delivery_ratio();
@@ -20,20 +21,38 @@ SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x) {
     point.runs.push_back(std::move(r));
   }
   point.received = stats::summarize(all_received);
+  const std::size_t seeds = point.runs.size();
   if (seeds > 0) {
-    point.mean_goodput_pct = goodput_sum / seeds;
-    point.mean_delivery_ratio = ratio_sum / seeds;
+    point.mean_goodput_pct = goodput_sum / static_cast<double>(seeds);
+    point.mean_delivery_ratio = ratio_sum / static_cast<double>(seeds);
     point.mean_transmissions = tx_sum / seeds;
   }
   return point;
 }
 
-std::uint32_t seeds_from_env(std::uint32_t fallback) {
-  if (const char* env = std::getenv("AG_SEEDS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return static_cast<std::uint32_t>(v);
+SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x) {
+  std::vector<stats::RunResult> runs;
+  runs.reserve(seeds);
+  for (std::uint32_t s = 1; s <= seeds; ++s) {
+    runs.push_back(run_scenario(config.with_seed(s)));
   }
-  return fallback;
+  return aggregate_point(x, std::move(runs));
+}
+
+std::uint32_t seeds_from_env(std::uint32_t fallback) {
+  const char* env = std::getenv("AG_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || v <= 0 || v > 1'000'000) {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid AG_SEEDS=\"%s\" (want a positive "
+                 "integer); using %u seeds\n",
+                 env, fallback);
+    return fallback;
+  }
+  return static_cast<std::uint32_t>(v);
 }
 
 }  // namespace ag::harness

@@ -24,10 +24,17 @@ struct SeriesPoint {
   std::vector<stats::RunResult> runs;   // raw results (one per seed)
 };
 
+// Folds per-seed results (in seed order) into one point. Shared by the
+// serial run_point and the parallel ExperimentBuilder so both produce
+// bit-identical aggregates for the same seeds.
+[[nodiscard]] SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs);
+
 // Runs `config` with seeds 1..seeds and aggregates.
 [[nodiscard]] SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x);
 
-// Number of seeds per point: AG_SEEDS env var, else `fallback`.
+// Number of seeds per point: AG_SEEDS env var, else `fallback`. Zero,
+// negative, or non-numeric AG_SEEDS values are rejected with a warning on
+// stderr instead of silently running zero seeds.
 [[nodiscard]] std::uint32_t seeds_from_env(std::uint32_t fallback = 5);
 
 }  // namespace ag::harness

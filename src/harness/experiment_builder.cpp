@@ -1,0 +1,216 @@
+#include "harness/experiment_builder.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "harness/protocol_registry.h"
+
+namespace ag::harness {
+
+namespace {
+
+ExperimentBuilder::ApplyFn named_knob(const std::string& param) {
+  if (param == "range_m") {
+    return [](ScenarioConfig& c, double x) { c.with_range(x); };
+  }
+  if (param == "max_speed_mps") {
+    return [](ScenarioConfig& c, double x) { c.with_max_speed(x); };
+  }
+  if (param == "node_count") {
+    return [](ScenarioConfig& c, double x) {
+      c.with_nodes(static_cast<std::size_t>(x));
+    };
+  }
+  if (param == "member_fraction") {
+    return [](ScenarioConfig& c, double x) { c.member_fraction = x; };
+  }
+  if (param == "gossip_interval_ms") {
+    return [](ScenarioConfig& c, double x) {
+      c.gossip.round_interval = sim::Duration::ms(static_cast<std::int64_t>(x));
+    };
+  }
+  throw std::invalid_argument(
+      "unknown sweep parameter \"" + param +
+      "\" (known: range_m, max_speed_mps, node_count, member_fraction, "
+      "gossip_interval_ms); use Experiment::sweep(param, values, apply) for "
+      "custom knobs");
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentBuilder::ExperimentBuilder(std::string param, std::vector<double> values)
+    : param_{std::move(param)}, values_{std::move(values)}, apply_{named_knob(param_)} {}
+
+ExperimentBuilder::ExperimentBuilder(std::string param, std::vector<double> values,
+                                     ApplyFn apply)
+    : param_{std::move(param)}, values_{std::move(values)}, apply_{std::move(apply)} {}
+
+ExperimentBuilder& ExperimentBuilder::base(ScenarioConfig config) {
+  base_ = config;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::protocols(std::vector<Protocol> protocols) {
+  protocols_ = std::move(protocols);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seeds(std::uint32_t n) {
+  seeds_ = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::parallel(unsigned threads) {
+  threads_ = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (threads_ == 0) threads_ = 1;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::name(std::string experiment_name) {
+  name_ = std::move(experiment_name);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::on_progress(
+    std::function<void(std::size_t, std::size_t)> fn) {
+  progress_ = std::move(fn);
+  return *this;
+}
+
+ExperimentResult ExperimentBuilder::run() const {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const std::uint32_t seeds = seeds_ == 0 ? seeds_from_env() : seeds_;
+  std::vector<Protocol> protocols = protocols_;
+  if (protocols.empty()) protocols = {base_.protocol};
+
+  // One job per (protocol, x, seed); results land in a pre-sized grid so
+  // aggregation order is independent of execution order.
+  struct Job {
+    ScenarioConfig config;
+    std::size_t slot;
+  };
+  std::vector<Job> jobs;
+  const std::size_t runs_per_point = seeds;
+  jobs.reserve(protocols.size() * values_.size() * runs_per_point);
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    for (std::size_t v = 0; v < values_.size(); ++v) {
+      ScenarioConfig c = base_;
+      apply_(c, values_[v]);
+      c.with_protocol(protocols[p]);
+      for (std::uint32_t s = 1; s <= seeds; ++s) {
+        ScenarioConfig run = c;
+        run.with_seed(s);
+        jobs.push_back({run, (p * values_.size() + v) * runs_per_point + (s - 1)});
+      }
+    }
+  }
+
+  std::vector<stats::RunResult> results(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      results[jobs[i].slot] = run_scenario(jobs[i].config);
+      const std::size_t completed = done.fetch_add(1) + 1;
+      if (progress_) progress_(completed, jobs.size());
+    }
+  };
+
+  const unsigned threads =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  ExperimentResult out;
+  out.name = name_;
+  out.param = param_;
+  out.seeds = seeds;
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    FigureSeries series{registry.name_of(protocols[p]), {}};
+    for (std::size_t v = 0; v < values_.size(); ++v) {
+      const std::size_t base_slot = (p * values_.size() + v) * runs_per_point;
+      std::vector<stats::RunResult> runs(
+          std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(base_slot)),
+          std::make_move_iterator(results.begin() +
+                                  static_cast<std::ptrdiff_t>(base_slot + runs_per_point)));
+      series.points.push_back(aggregate_point(values_[v], std::move(runs)));
+    }
+    out.series.push_back(std::move(series));
+  }
+  return out;
+}
+
+void ExperimentResult::print(const std::string& title, const std::string& x_label) const {
+  print_figure(title, x_label, series);
+}
+
+bool ExperimentResult::write_csv(const std::string& path) const {
+  return write_figure_csv(path, series);
+}
+
+bool ExperimentResult::write_json(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << std::setprecision(12);
+  out << "{\n";
+  out << "  \"experiment\": \"" << json_escaped(name) << "\",\n";
+  out << "  \"param\": \"" << json_escaped(param) << "\",\n";
+  out << "  \"seeds\": " << seeds << ",\n";
+  out << "  \"series\": [\n";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out << "    {\"name\": \"" << json_escaped(series[s].name) << "\", \"points\": [\n";
+    for (std::size_t i = 0; i < series[s].points.size(); ++i) {
+      const SeriesPoint& p = series[s].points[i];
+      out << "      {\"x\": " << p.x << ", \"received_mean\": " << p.received.mean
+          << ", \"received_min\": " << p.received.min
+          << ", \"received_max\": " << p.received.max
+          << ", \"received_stddev\": " << p.received.stddev
+          << ", \"receivers\": " << p.received.n
+          << ", \"delivery_ratio\": " << p.mean_delivery_ratio
+          << ", \"goodput_pct\": " << p.mean_goodput_pct
+          << ", \"transmissions\": " << p.mean_transmissions << "}"
+          << (i + 1 < series[s].points.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (s + 1 < series.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace ag::harness

@@ -1,0 +1,42 @@
+// The protocol-plugin boundary of the harness. The paper's claim is that
+// Anonymous Gossip runs "on top of any of the tree-based and mesh-based
+// protocols"; this interface is what "any" means concretely: a multicast
+// routing substrate pluggable into a NodeStack. It unifies the gossip
+// services (gossip::RoutingAdapter) with the lifecycle and data-plane
+// calls the harness itself needs (start / join / leave / send) plus the
+// stats hook the result extractor uses, so Network never names a concrete
+// protocol type.
+#ifndef AG_HARNESS_MULTICAST_ROUTER_H
+#define AG_HARNESS_MULTICAST_ROUTER_H
+
+#include <cstdint>
+
+#include "gossip/routing_adapter.h"
+#include "net/ids.h"
+#include "stats/run_result.h"
+
+namespace ag::harness {
+
+class MulticastRouter : public gossip::RoutingAdapter {
+ public:
+  // Starts protocol machinery (hello beaconing, refresh timers). Called
+  // once after wiring; stateless protocols need nothing.
+  virtual void start() {}
+
+  // Wires the gossip layer (or any observer) into protocol events.
+  virtual void set_observer(gossip::RouterObserver* observer) = 0;
+
+  // --- membership / data plane (used by applications) ---
+  virtual void join_group(net::GroupId group) = 0;
+  virtual void leave_group(net::GroupId group) = 0;
+  // Multicasts one data packet to the group; returns its sequence number.
+  virtual std::uint32_t send_multicast(net::GroupId group,
+                                       std::uint16_t payload_bytes) = 0;
+
+  // Adds this node's protocol counters into the network-wide totals.
+  virtual void add_totals(stats::NetworkTotals& totals) const = 0;
+};
+
+}  // namespace ag::harness
+
+#endif  // AG_HARNESS_MULTICAST_ROUTER_H

@@ -1,5 +1,7 @@
 #include "harness/network.h"
 
+#include "harness/protocol_registry.h"
+
 namespace ag::harness {
 
 Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.seed} {
@@ -7,6 +9,7 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
       sim_, config_.node_count, config_.waypoint, sim_.rng().stream("mobility"));
   channel_ = std::make_unique<phy::Channel>(sim_, *mobility_, config_.phy);
 
+  const ProtocolEntry& protocol = ProtocolRegistry::instance().entry(config_.protocol);
   const std::size_t members = config_.member_count();
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     auto stack = std::make_unique<NodeStack>();
@@ -16,41 +19,14 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
     stack->mac = std::make_unique<mac::CsmaMac>(sim_, *stack->radio, *channel_, id,
                                                 config_.mac, sim_.rng().stream("mac", i));
 
-    gossip::RoutingAdapter* adapter = nullptr;
-    switch (config_.protocol) {
-      case Protocol::flooding:
-        stack->flood = std::make_unique<flood::FloodRouter>(*stack->mac, id,
-                                                            config_.maodv.data_ttl);
-        adapter = stack->flood.get();
-        break;
-      case Protocol::odmrp:
-      case Protocol::odmrp_gossip:
-        stack->odmrp = std::make_unique<odmrp::OdmrpRouter>(
-            sim_, *stack->mac, id, config_.aodv, config_.odmrp,
-            sim_.rng().stream("aodv", i));
-        adapter = stack->odmrp.get();
-        break;
-      case Protocol::maodv:
-      case Protocol::maodv_gossip:
-        stack->maodv = std::make_unique<maodv::MaodvRouter>(
-            sim_, *stack->mac, id, config_.aodv, config_.maodv,
-            sim_.rng().stream("aodv", i));
-        adapter = stack->maodv.get();
-        break;
-    }
+    stack->router = ProtocolRegistry::instance().build(
+        RouterContext{sim_, *stack->mac, id, i, config_});
 
     gossip::GossipParams gp = config_.gossip;
-    gp.enabled = gp.enabled && (config_.protocol == Protocol::maodv_gossip ||
-                                config_.protocol == Protocol::odmrp_gossip);
-    stack->agent = std::make_unique<gossip::GossipAgent>(sim_, *adapter, gp,
+    gp.enabled = gp.enabled && protocol.gossip_capable;
+    stack->agent = std::make_unique<gossip::GossipAgent>(sim_, *stack->router, gp,
                                                          sim_.rng().stream("gossip", i));
-    if (stack->maodv != nullptr) {
-      stack->maodv->set_observer(stack->agent.get());
-    } else if (stack->odmrp != nullptr) {
-      stack->odmrp->set_observer(stack->agent.get());
-    } else {
-      stack->flood->set_observer(stack->agent.get());
-    }
+    stack->router->set_observer(stack->agent.get());
 
     if (i < members) {
       stack->sink = std::make_unique<app::MulticastSink>(sim_);
@@ -65,36 +41,20 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
   // Source application on member 0.
   NodeStack& src = *stacks_[source_index()];
   source_ = std::make_unique<app::MulticastSource>(
-      sim_, config_.workload, [&src](std::uint16_t bytes) {
-        if (src.maodv != nullptr) {
-          src.maodv->send_multicast(kGroup, bytes);
-        } else if (src.odmrp != nullptr) {
-          src.odmrp->send_multicast(kGroup, bytes);
-        } else {
-          src.flood->send_multicast(kGroup, bytes);
-        }
-      });
+      sim_, config_.workload,
+      [&src](std::uint16_t bytes) { src.router->send_multicast(kGroup, bytes); });
 
   // Start protocol machinery and schedule joins spread over join_spread.
   sim::Rng join_rng = sim_.rng().stream("join");
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     NodeStack& s = *stacks_[i];
-    if (s.maodv != nullptr) s.maodv->start();
-    if (s.odmrp != nullptr) s.odmrp->start();
+    s.router->start();
     s.agent->start();
     if (i < members) {
       const auto delay = sim::Duration::us(
           join_rng.uniform_int(0, std::max<std::int64_t>(config_.join_spread.count_us(), 1)));
-      sim_.schedule_after(delay, [this, i] {
-        NodeStack& st = *stacks_[i];
-        if (st.maodv != nullptr) {
-          st.maodv->join_group(kGroup);
-        } else if (st.odmrp != nullptr) {
-          st.odmrp->join_group(kGroup);
-        } else {
-          st.flood->join_group(kGroup);
-        }
-      });
+      sim_.schedule_after(delay,
+                          [this, i] { stacks_[i]->router->join_group(kGroup); });
     }
   }
   source_->start();
@@ -132,25 +92,7 @@ stats::RunResult Network::result() const {
     t.gossip_walks += g.walks_initiated;
     t.gossip_replies += g.replies_sent;
     t.nm_updates += g.nm_updates_sent;
-    if (s->maodv != nullptr) {
-      t.rreq_originated += s->maodv->counters().rreq_originated;
-      t.rerr_sent += s->maodv->counters().rerr_sent;
-      const auto& mc = s->maodv->mcast_counters();
-      t.grph_sent += mc.grph_sent;
-      t.mact_sent += mc.mact_sent;
-      t.data_forwarded += mc.data_forwarded;
-      t.repairs_started += mc.repairs_started;
-      t.partitions += mc.partitions;
-      t.leaders_elected += mc.leaders_elected;
-    }
-    if (s->odmrp != nullptr) {
-      t.rreq_originated += s->odmrp->counters().rreq_originated;
-      t.rerr_sent += s->odmrp->counters().rerr_sent;
-      t.data_forwarded += s->odmrp->odmrp_counters().data_forwarded;
-    }
-    if (s->flood != nullptr) {
-      t.data_forwarded += s->flood->counters().rebroadcasts;
-    }
+    s->router->add_totals(t);
   }
   return r;
 }

@@ -1,6 +1,8 @@
 // Assembles a full network from a ScenarioConfig: mobility, channel, and
-// one protocol stack (radio / MAC / router / gossip agent / app) per node;
-// runs the scenario and extracts the RunResult.
+// one protocol stack (radio / MAC / router-plugin / gossip agent / app)
+// per node; runs the scenario and extracts the RunResult. The router is
+// built through the ProtocolRegistry, so Network never names a concrete
+// protocol type.
 #ifndef AG_HARNESS_NETWORK_H
 #define AG_HARNESS_NETWORK_H
 
@@ -9,11 +11,10 @@
 
 #include "app/multicast_sink.h"
 #include "app/multicast_source.h"
-#include "flood/flood_router.h"
 #include "gossip/gossip_agent.h"
+#include "harness/multicast_router.h"
 #include "harness/scenario.h"
-#include "maodv/maodv_router.h"
-#include "odmrp/odmrp_router.h"
+#include "mac/csma_mac.h"
 #include "phy/channel.h"
 #include "phy/radio.h"
 #include "sim/simulator.h"
@@ -43,12 +44,12 @@ class Network {
   [[nodiscard]] phy::Channel& channel() { return *channel_; }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] std::size_t node_count() const { return stacks_.size(); }
-  [[nodiscard]] maodv::MaodvRouter* router(std::size_t i) { return stacks_[i]->maodv.get(); }
-  [[nodiscard]] flood::FloodRouter* flood_router(std::size_t i) {
-    return stacks_[i]->flood.get();
-  }
-  [[nodiscard]] odmrp::OdmrpRouter* odmrp_router(std::size_t i) {
-    return stacks_[i]->odmrp.get();
+  [[nodiscard]] MulticastRouter& router(std::size_t i) { return *stacks_[i]->router; }
+  // Typed view of node i's router; nullptr when the configured protocol
+  // is implemented by a different router type.
+  template <typename Router>
+  [[nodiscard]] Router* router_as(std::size_t i) {
+    return dynamic_cast<Router*>(stacks_[i]->router.get());
   }
   [[nodiscard]] gossip::GossipAgent& agent(std::size_t i) { return *stacks_[i]->agent; }
   [[nodiscard]] app::MulticastSink* sink(std::size_t i) { return stacks_[i]->sink.get(); }
@@ -63,9 +64,7 @@ class Network {
   struct NodeStack {
     std::unique_ptr<phy::Radio> radio;
     std::unique_ptr<mac::CsmaMac> mac;
-    std::unique_ptr<maodv::MaodvRouter> maodv;  // the protocol slots are
-    std::unique_ptr<flood::FloodRouter> flood;  // mutually exclusive: one
-    std::unique_ptr<odmrp::OdmrpRouter> odmrp;  // per configured Protocol
+    std::unique_ptr<MulticastRouter> router;    // built by the registry
     std::unique_ptr<gossip::GossipAgent> agent;
     std::unique_ptr<app::MulticastSink> sink;   // members only
   };

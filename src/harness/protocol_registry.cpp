@@ -1,0 +1,100 @@
+#include "harness/protocol_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "flood/flood_router.h"
+#include "maodv/maodv_router.h"
+#include "odmrp/odmrp_router.h"
+
+namespace ag::harness {
+
+namespace {
+
+std::unique_ptr<MulticastRouter> make_maodv(const RouterContext& ctx) {
+  return std::make_unique<maodv::MaodvRouter>(
+      ctx.sim, ctx.mac, ctx.id, ctx.config.aodv, ctx.config.maodv,
+      ctx.sim.rng().stream("aodv", ctx.index));
+}
+
+std::unique_ptr<MulticastRouter> make_odmrp(const RouterContext& ctx) {
+  return std::make_unique<odmrp::OdmrpRouter>(
+      ctx.sim, ctx.mac, ctx.id, ctx.config.aodv, ctx.config.odmrp,
+      ctx.sim.rng().stream("aodv", ctx.index));
+}
+
+std::unique_ptr<MulticastRouter> make_flood(const RouterContext& ctx) {
+  return std::make_unique<flood::FloodRouter>(ctx.mac, ctx.id,
+                                              ctx.config.maodv.data_ttl);
+}
+
+}  // namespace
+
+ProtocolRegistry::ProtocolRegistry() {
+  add({Protocol::maodv, "maodv", /*gossip_capable=*/false, make_maodv});
+  add({Protocol::maodv_gossip, "maodv_gossip", /*gossip_capable=*/true,
+       make_maodv});
+  add({Protocol::flooding, "flooding", /*gossip_capable=*/false, make_flood});
+  add({Protocol::odmrp, "odmrp", /*gossip_capable=*/false, make_odmrp});
+  add({Protocol::odmrp_gossip, "odmrp_gossip", /*gossip_capable=*/true,
+       make_odmrp});
+}
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry;
+  return registry;
+}
+
+void ProtocolRegistry::add(ProtocolEntry entry) {
+  for (ProtocolEntry& e : entries_) {
+    if (e.protocol == entry.protocol) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const ProtocolEntry& ProtocolRegistry::entry(Protocol p) const {
+  for (const ProtocolEntry& e : entries_) {
+    if (e.protocol == p) return e;
+  }
+  throw std::out_of_range("unregistered Protocol enum value " +
+                          std::to_string(static_cast<int>(p)));
+}
+
+const ProtocolEntry* ProtocolRegistry::find(std::string_view name) const {
+  for (const ProtocolEntry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Protocol ProtocolRegistry::parse(std::string_view name) const {
+  if (const ProtocolEntry* e = find(name)) return e->protocol;
+  std::string known;
+  for (const ProtocolEntry& e : entries_) {
+    if (!known.empty()) known += ", ";
+    known += e.name;
+  }
+  throw std::invalid_argument("unknown protocol \"" + std::string(name) +
+                              "\" (known: " + known + ")");
+}
+
+const std::string& ProtocolRegistry::name_of(Protocol p) const {
+  return entry(p).name;
+}
+
+std::vector<Protocol> ProtocolRegistry::all() const {
+  std::vector<Protocol> out;
+  out.reserve(entries_.size());
+  for (const ProtocolEntry& e : entries_) out.push_back(e.protocol);
+  return out;
+}
+
+std::unique_ptr<MulticastRouter> ProtocolRegistry::build(
+    const RouterContext& ctx) const {
+  return entry(ctx.config.protocol).factory(ctx);
+}
+
+}  // namespace ag::harness

@@ -15,6 +15,7 @@
 
 #include "aodv/aodv_router.h"
 #include "gossip/routing_adapter.h"
+#include "harness/multicast_router.h"
 #include "maodv/messages.h"
 #include "maodv/multicast_route_table.h"
 #include "maodv/params.h"
@@ -22,7 +23,7 @@
 
 namespace ag::maodv {
 
-class MaodvRouter : public aodv::AodvRouter, public gossip::RoutingAdapter {
+class MaodvRouter : public aodv::AodvRouter, public harness::MulticastRouter {
  public:
   MaodvRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId self,
               aodv::AodvParams aodv_params, MaodvParams maodv_params, sim::Rng rng);
@@ -31,13 +32,14 @@ class MaodvRouter : public aodv::AodvRouter, public gossip::RoutingAdapter {
 
   // Wires the gossip layer (or any observer); also routes gossip-layer
   // unicast payloads delivered to this node into the observer.
-  void set_observer(gossip::RouterObserver* observer);
+  void set_observer(gossip::RouterObserver* observer) override;
 
   // --- membership / data API (used by applications) ---
-  void join_group(net::GroupId group);
-  void leave_group(net::GroupId group);
+  void join_group(net::GroupId group) override;
+  void leave_group(net::GroupId group) override;
   // Multicasts one data packet to the group; returns its sequence number.
-  std::uint32_t send_multicast(net::GroupId group, std::uint16_t payload_bytes);
+  std::uint32_t send_multicast(net::GroupId group,
+                               std::uint16_t payload_bytes) override;
 
   [[nodiscard]] const GroupEntry* group_entry(net::GroupId group) const {
     return mrt_.find(group);
@@ -63,6 +65,18 @@ class MaodvRouter : public aodv::AodvRouter, public gossip::RoutingAdapter {
     std::uint64_t data_duplicates{0};
   };
   [[nodiscard]] const McastCounters& mcast_counters() const { return mcounters_; }
+
+  // harness::MulticastRouter stats hook.
+  void add_totals(stats::NetworkTotals& totals) const override {
+    totals.rreq_originated += counters().rreq_originated;
+    totals.rerr_sent += counters().rerr_sent;
+    totals.grph_sent += mcounters_.grph_sent;
+    totals.mact_sent += mcounters_.mact_sent;
+    totals.data_forwarded += mcounters_.data_forwarded;
+    totals.repairs_started += mcounters_.repairs_started;
+    totals.partitions += mcounters_.partitions;
+    totals.leaders_elected += mcounters_.leaders_elected;
+  }
 
   // --- gossip::RoutingAdapter ---
   [[nodiscard]] net::NodeId self() const override { return AodvRouter::self(); }

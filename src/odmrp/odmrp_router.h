@@ -21,23 +21,25 @@
 
 #include "aodv/aodv_router.h"
 #include "gossip/routing_adapter.h"
+#include "harness/multicast_router.h"
 #include "net/data.h"
 #include "odmrp/messages.h"
 #include "odmrp/params.h"
 
 namespace ag::odmrp {
 
-class OdmrpRouter final : public aodv::AodvRouter, public gossip::RoutingAdapter {
+class OdmrpRouter final : public aodv::AodvRouter, public harness::MulticastRouter {
  public:
   OdmrpRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId self,
               aodv::AodvParams aodv_params, OdmrpParams odmrp_params, sim::Rng rng);
 
   void start() override;
-  void set_observer(gossip::RouterObserver* observer);
+  void set_observer(gossip::RouterObserver* observer) override;
 
-  void join_group(net::GroupId group);
-  void leave_group(net::GroupId group);
-  std::uint32_t send_multicast(net::GroupId group, std::uint16_t payload_bytes);
+  void join_group(net::GroupId group) override;
+  void leave_group(net::GroupId group) override;
+  std::uint32_t send_multicast(net::GroupId group,
+                               std::uint16_t payload_bytes) override;
 
   [[nodiscard]] bool is_forwarding(net::GroupId group) const;
   [[nodiscard]] std::vector<net::NodeId> mesh_neighbors(net::GroupId group) const;
@@ -53,6 +55,13 @@ class OdmrpRouter final : public aodv::AodvRouter, public gossip::RoutingAdapter
     std::uint64_t data_duplicates{0};
   };
   [[nodiscard]] const OdmrpCounters& odmrp_counters() const { return ocounters_; }
+
+  // harness::MulticastRouter stats hook.
+  void add_totals(stats::NetworkTotals& totals) const override {
+    totals.rreq_originated += counters().rreq_originated;
+    totals.rerr_sent += counters().rerr_sent;
+    totals.data_forwarded += ocounters_.data_forwarded;
+  }
 
   // --- gossip::RoutingAdapter ---
   [[nodiscard]] net::NodeId self() const override { return AodvRouter::self(); }

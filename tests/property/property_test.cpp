@@ -62,7 +62,7 @@ TEST_P(SeededScenario, TreeSettlesToSingleUpstreamPerNode) {
   net.run_until(sim::SimTime::seconds(60.0));
   int leaders = 0;
   for (std::size_t i = 0; i < net.node_count(); ++i) {
-    const maodv::GroupEntry* e = net.router(i)->group_entry(kGroup);
+    const maodv::GroupEntry* e = net.router_as<maodv::MaodvRouter>(i)->group_entry(kGroup);
     if (e == nullptr || !e->on_tree()) continue;
     if (e->is_leader) {
       ++leaders;
@@ -87,7 +87,7 @@ TEST_P(SeededScenario, StaticConnectedNetworkConvergesToOneLeader) {
   net.run_until(sim::SimTime::seconds(80.0));
   int leaders = 0;
   for (std::size_t i = 0; i < net.node_count(); ++i) {
-    const maodv::GroupEntry* e = net.router(i)->group_entry(kGroup);
+    const maodv::GroupEntry* e = net.router_as<maodv::MaodvRouter>(i)->group_entry(kGroup);
     if (e != nullptr && e->is_leader) ++leaders;
   }
   EXPECT_EQ(leaders, 1);

@@ -1,13 +1,18 @@
-// Test utility: assembles full protocol stacks (radio/MAC/MAODV/gossip)
+// Test utility: assembles full protocol stacks (radio/MAC/router/gossip)
 // on a hand-placed static topology, so routing and gossip tests can build
-// lines, grids and the paper's Fig. 1 tree deterministically.
+// lines, grids and the paper's Fig. 1 tree deterministically. Routers are
+// built through the harness ProtocolRegistry — the same factories the
+// Network uses — so any registered protocol can be exercised on a static
+// topology by setting StackOptions::protocol.
 #ifndef AG_TESTS_TESTUTIL_STACK_FIXTURE_H
 #define AG_TESTS_TESTUTIL_STACK_FIXTURE_H
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "gossip/gossip_agent.h"
+#include "harness/protocol_registry.h"
 #include "mac/csma_mac.h"
 #include "maodv/maodv_router.h"
 #include "mobility/static_mobility.h"
@@ -22,20 +27,29 @@ inline constexpr net::GroupId kGroup{1};
 struct StackOptions {
   double range_m{100.0};
   std::uint64_t seed{42};
+  harness::Protocol protocol{harness::Protocol::maodv_gossip};
   bool gossip_enabled{true};
   gossip::GossipParams gossip{};
   aodv::AodvParams aodv{};
   maodv::MaodvParams maodv{};
+  odmrp::OdmrpParams odmrp{};
 };
 
 class StaticNetwork {
  public:
   StaticNetwork(std::vector<mobility::Vec2> positions, StackOptions options = {})
-      : options_{options},
-        sim_{options.seed},
+      : sim_{options.seed},
         mobility_{std::move(positions)},
         channel_{sim_, mobility_, phy::PhyParams{options.range_m, 2e6, 192.0, 3e8}} {
-    options_.gossip.enabled = options.gossip_enabled;
+    const harness::ProtocolEntry& entry =
+        harness::ProtocolRegistry::instance().entry(options.protocol);
+    config_.protocol = options.protocol;
+    config_.seed = options.seed;
+    config_.aodv = options.aodv;
+    config_.maodv = options.maodv;
+    config_.odmrp = options.odmrp;
+    config_.gossip = options.gossip;
+    config_.gossip.enabled = options.gossip_enabled && entry.gossip_capable;
     const std::size_t n = mobility_.node_count();
     for (std::size_t i = 0; i < n; ++i) {
       auto node = std::make_unique<Node>();
@@ -45,11 +59,10 @@ class StaticNetwork {
       node->mac = std::make_unique<mac::CsmaMac>(sim_, *node->radio, channel_, id,
                                                  mac::MacParams{},
                                                  sim_.rng().stream("mac", i));
-      node->router = std::make_unique<maodv::MaodvRouter>(
-          sim_, *node->mac, id, options_.aodv, options_.maodv,
-          sim_.rng().stream("aodv", i));
+      node->router = harness::ProtocolRegistry::instance().build(
+          harness::RouterContext{sim_, *node->mac, id, i, config_});
       node->agent = std::make_unique<gossip::GossipAgent>(
-          sim_, *node->router, options_.gossip, sim_.rng().stream("gossip", i));
+          sim_, *node->router, config_.gossip, sim_.rng().stream("gossip", i));
       node->router->set_observer(node->agent.get());
       node->router->start();
       node->agent->start();
@@ -61,7 +74,25 @@ class StaticNetwork {
   [[nodiscard]] phy::Channel& channel() { return channel_; }
   [[nodiscard]] mobility::StaticMobility& mobility() { return mobility_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
-  [[nodiscard]] maodv::MaodvRouter& router(std::size_t i) { return *nodes_[i]->router; }
+  // The protocol-agnostic router surface (join/leave/send/adapter).
+  [[nodiscard]] harness::MulticastRouter& multicast_router(std::size_t i) {
+    return *nodes_[i]->router;
+  }
+  // Typed view; nullptr when node i's router is a different type.
+  template <typename Router>
+  [[nodiscard]] Router* router_as(std::size_t i) {
+    return dynamic_cast<Router*>(nodes_[i]->router.get());
+  }
+  // MAODV view — the fixture's historical accessor; valid only for the
+  // (default) maodv-family protocols.
+  [[nodiscard]] maodv::MaodvRouter& router(std::size_t i) {
+    maodv::MaodvRouter* r = router_as<maodv::MaodvRouter>(i);
+    if (r == nullptr) {
+      throw std::logic_error("StaticNetwork::router(i) requires a "
+                             "maodv-family protocol; use router_as<T>");
+    }
+    return *r;
+  }
   [[nodiscard]] gossip::GossipAgent& agent(std::size_t i) { return *nodes_[i]->agent; }
   [[nodiscard]] mac::CsmaMac& mac(std::size_t i) { return *nodes_[i]->mac; }
 
@@ -70,31 +101,33 @@ class StaticNetwork {
   }
 
   // Joins each listed node to the test group, spaced 100 ms apart, then
-  // settles the tree.
+  // settles the tree/mesh.
   void join_all(const std::vector<std::size_t>& members, double settle_s = 10.0) {
     double delay = 0.0;
     for (std::size_t m : members) {
       sim_.schedule_after(sim::Duration::seconds(delay),
-                          [this, m] { router(m).join_group(kGroup); });
+                          [this, m] { multicast_router(m).join_group(kGroup); });
       delay += 0.1;
     }
     run_for(settle_s);
   }
 
-  // True when every listed member is attached to the group tree.
+  // True when every listed member reports itself on the distribution
+  // structure (tree or mesh) through the protocol-agnostic adapter.
   [[nodiscard]] bool all_on_tree(const std::vector<std::size_t>& members) {
     for (std::size_t m : members) {
-      const maodv::GroupEntry* e = router(m).group_entry(kGroup);
-      if (e == nullptr || !e->on_tree()) return false;
+      if (!multicast_router(m).on_tree(kGroup)) return false;
     }
     return true;
   }
 
-  // Number of distinct leaders currently claimed.
+  // Number of distinct leaders currently claimed (MAODV-family only).
   [[nodiscard]] int leader_count() {
     int count = 0;
     for (std::size_t i = 0; i < size(); ++i) {
-      const maodv::GroupEntry* e = router(i).group_entry(kGroup);
+      const maodv::MaodvRouter* r = router_as<maodv::MaodvRouter>(i);
+      if (r == nullptr) continue;
+      const maodv::GroupEntry* e = r->group_entry(kGroup);
       if (e != nullptr && e->is_leader) ++count;
     }
     return count;
@@ -104,11 +137,11 @@ class StaticNetwork {
   struct Node {
     std::unique_ptr<phy::Radio> radio;
     std::unique_ptr<mac::CsmaMac> mac;
-    std::unique_ptr<maodv::MaodvRouter> router;
+    std::unique_ptr<harness::MulticastRouter> router;
     std::unique_ptr<gossip::GossipAgent> agent;
   };
 
-  StackOptions options_;
+  harness::ScenarioConfig config_;
   sim::Simulator sim_;
   mobility::StaticMobility mobility_;
   phy::Channel channel_;
