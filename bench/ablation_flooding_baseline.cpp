@@ -7,24 +7,21 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
+  const std::vector<harness::Protocol> protocols = bench::protocols_from_cli(
+      argc, argv, {harness::Protocol::maodv, harness::Protocol::maodv_gossip,
+                   harness::Protocol::flooding});
 
   std::printf("== Ablation: protocol cost comparison (range 55 m, 0.2 m/s) ==\n");
   std::printf("%-14s | %10s %6s %6s | %12s | %s\n", "protocol", "avg", "min", "max",
               "tx/run", "tx per delivered pkt");
 
-  struct Entry {
-    const char* name;
-    harness::Protocol protocol;
-  };
-  for (const Entry& entry : {Entry{"MAODV", harness::Protocol::maodv},
-                             Entry{"MAODV+Gossip", harness::Protocol::maodv_gossip},
-                             Entry{"Flooding", harness::Protocol::flooding}}) {
+  for (harness::Protocol protocol : protocols) {
     harness::ScenarioConfig c = bench::paper_base();
     c.with_range(55.0).with_max_speed(0.2);
-    c.with_protocol(entry.protocol);
+    c.with_protocol(protocol);
     harness::SeriesPoint pt = harness::run_point(c, seeds, 0.0);
     double delivered_total = 0.0;
     for (const auto& run : pt.runs) {
@@ -34,7 +31,8 @@ int main() {
     const double cost = delivered_total > 0
                             ? static_cast<double>(pt.mean_transmissions) / delivered_total
                             : 0.0;
-    std::printf("%-14s | %10.1f %6.0f %6.0f | %12llu | %.2f\n", entry.name,
+    std::printf("%-14s | %10.1f %6.0f %6.0f | %12llu | %.2f\n",
+                harness::ProtocolRegistry::instance().name_of(protocol).c_str(),
                 pt.received.mean, pt.received.min, pt.received.max,
                 static_cast<unsigned long long>(pt.mean_transmissions), cost);
     std::fflush(stdout);

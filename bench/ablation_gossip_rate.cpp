@@ -6,7 +6,7 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
 
@@ -16,20 +16,23 @@ int main() {
   harness::ExperimentResult result =
       harness::Experiment::sweep("gossip_interval_ms", {4000, 2000, 1000, 500, 250})
           .base(base)
-          .protocols({harness::Protocol::maodv_gossip})
+          .protocols(bench::protocols_from_cli(argc, argv,
+                                               {harness::Protocol::maodv_gossip}))
           .seeds(seeds)
           .parallel()
           .name("ablation_gossip_rate")
           .run();
 
   std::printf("== Ablation: gossip round interval ==\n");
-  std::printf("%-12s | %10s %6s %6s | %9s | %s\n", "interval(ms)", "avg", "min",
-              "max", "goodput%", "tx/run");
-  for (const harness::SeriesPoint& pt : result.series.front().points) {
-    std::printf("%-12g | %10.1f %6.0f %6.0f | %9.2f | %llu\n", pt.x,
-                pt.received.mean, pt.received.min, pt.received.max,
-                pt.mean_goodput_pct,
-                static_cast<unsigned long long>(pt.mean_transmissions));
+  std::printf("%-14s %-12s | %10s %6s %6s | %9s | %s\n", "protocol", "interval(ms)",
+              "avg", "min", "max", "goodput%", "tx/run");
+  for (const harness::FigureSeries& series : result.series) {
+    for (const harness::SeriesPoint& pt : series.points) {
+      std::printf("%-14s %-12g | %10.1f %6.0f %6.0f | %9.2f | %llu\n",
+                  series.name.c_str(), pt.x, pt.received.mean, pt.received.min,
+                  pt.received.max, pt.mean_goodput_pct,
+                  static_cast<unsigned long long>(pt.mean_transmissions));
+    }
   }
   if (result.write_json("BENCH_ablation_gossip_rate.json")) {
     std::printf("(json written to BENCH_ablation_gossip_rate.json; %u seeds)\n",

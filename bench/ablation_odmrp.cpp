@@ -6,26 +6,23 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
+  const std::vector<harness::Protocol> protocols = bench::protocols_from_cli(
+      argc, argv, {harness::Protocol::maodv, harness::Protocol::maodv_gossip,
+                   harness::Protocol::odmrp, harness::Protocol::odmrp_gossip});
 
   std::printf("== Extension: Anonymous Gossip over ODMRP (section 5.5) ==\n");
   std::printf("%-14s | %10s %6s %6s | %9s | %s\n", "protocol", "avg", "min", "max",
               "goodput%", "tx/run");
-  struct Entry {
-    const char* name;
-    harness::Protocol protocol;
-  };
-  for (const Entry& entry : {Entry{"MAODV", harness::Protocol::maodv},
-                             Entry{"MAODV+AG", harness::Protocol::maodv_gossip},
-                             Entry{"ODMRP", harness::Protocol::odmrp},
-                             Entry{"ODMRP+AG", harness::Protocol::odmrp_gossip}}) {
+  for (harness::Protocol protocol : protocols) {
     harness::ScenarioConfig c = bench::paper_base();
     c.with_range(55.0).with_max_speed(1.0);  // mobile enough to break paths
-    c.with_protocol(entry.protocol);
+    c.with_protocol(protocol);
     harness::SeriesPoint pt = harness::run_point(c, seeds, 0.0);
-    std::printf("%-14s | %10.1f %6.0f %6.0f | %9.2f | %llu\n", entry.name,
+    std::printf("%-14s | %10.1f %6.0f %6.0f | %9.2f | %llu\n",
+                harness::ProtocolRegistry::instance().name_of(protocol).c_str(),
                 pt.received.mean, pt.received.min, pt.received.max,
                 pt.mean_goodput_pct,
                 static_cast<unsigned long long>(pt.mean_transmissions));

@@ -7,9 +7,11 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
+  const std::vector<harness::Protocol> protocols = bench::protocols_from_cli(
+      argc, argv, {harness::Protocol::maodv_gossip});
 
   std::printf("== Ablation: push vs pull gossip (range 55 m, 0.2 m/s) ==\n");
   std::printf("%-10s | %10s %6s %6s | %9s | %s\n", "mode", "avg", "min", "max",
@@ -18,19 +20,25 @@ int main() {
     const char* name;
     gossip::ExchangeMode mode;
   };
-  for (const Mode& m : {Mode{"pull", gossip::ExchangeMode::pull},
-                        Mode{"push", gossip::ExchangeMode::push},
-                        Mode{"push_pull", gossip::ExchangeMode::push_pull}}) {
-    harness::ScenarioConfig c = bench::paper_base();
-    c.with_range(55.0).with_max_speed(0.2);
-    c.with_protocol(harness::Protocol::maodv_gossip);
-    c.gossip.exchange_mode = m.mode;
-    harness::SeriesPoint pt = harness::run_point(c, seeds, 0.0);
-    std::printf("%-10s | %10.1f %6.0f %6.0f | %9.2f | %llu\n", m.name,
-                pt.received.mean, pt.received.min, pt.received.max,
-                pt.mean_goodput_pct,
-                static_cast<unsigned long long>(pt.mean_transmissions));
-    std::fflush(stdout);
+  for (harness::Protocol protocol : protocols) {
+    if (protocols.size() > 1) {
+      std::printf("-- %s --\n",
+                  harness::ProtocolRegistry::instance().name_of(protocol).c_str());
+    }
+    for (const Mode& m : {Mode{"pull", gossip::ExchangeMode::pull},
+                          Mode{"push", gossip::ExchangeMode::push},
+                          Mode{"push_pull", gossip::ExchangeMode::push_pull}}) {
+      harness::ScenarioConfig c = bench::paper_base();
+      c.with_range(55.0).with_max_speed(0.2);
+      c.with_protocol(protocol);
+      c.gossip.exchange_mode = m.mode;
+      harness::SeriesPoint pt = harness::run_point(c, seeds, 0.0);
+      std::printf("%-10s | %10.1f %6.0f %6.0f | %9.2f | %llu\n", m.name,
+                  pt.received.mean, pt.received.min, pt.received.max,
+                  pt.mean_goodput_pct,
+                  static_cast<unsigned long long>(pt.mean_transmissions));
+      std::fflush(stdout);
+    }
   }
   std::printf("\n");
   return 0;

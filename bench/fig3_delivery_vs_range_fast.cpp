@@ -3,7 +3,7 @@
 // delivery drops, the Gossip-over-MAODV gap persists.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(3);
   bench::run_two_series_figure(
@@ -12,6 +12,7 @@ int main() {
       [](harness::ScenarioConfig& c, double x) {
         c.with_range(x).with_max_speed(2.0);
       },
-      seeds);
+      seeds, bench::paper_base(),
+      bench::protocols_from_cli(argc, argv, bench::headline_protocols()));
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
   bench::run_two_series_figure(
@@ -18,6 +18,7 @@ int main() {
         const double range = 75.0 * std::sqrt(40.0 / x);
         c.with_nodes(static_cast<std::size_t>(x)).with_range(range).with_max_speed(0.2);
       },
-      seeds);
+      seeds, bench::paper_base(),
+      bench::protocols_from_cli(argc, argv, bench::headline_protocols()));
   return 0;
 }

@@ -4,7 +4,7 @@
 // paper's rise-then-flatten shape.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(2);
   bench::run_two_series_figure(
@@ -13,6 +13,7 @@ int main() {
       [](harness::ScenarioConfig& c, double x) {
         c.with_nodes(static_cast<std::size_t>(x)).with_range(55.0).with_max_speed(0.2);
       },
-      seeds);
+      seeds, bench::paper_base(),
+      bench::protocols_from_cli(argc, argv, bench::headline_protocols()));
   return 0;
 }

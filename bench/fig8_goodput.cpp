@@ -7,9 +7,13 @@
 
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(3);
+  // Goodput is a gossip metric; default to the paper's gossip-over-MAODV,
+  // but any registered substrate can be measured via --protocols=.
+  const std::vector<harness::Protocol> protocols = bench::protocols_from_cli(
+      argc, argv, {harness::Protocol::maodv_gossip});
 
   struct Config {
     double range;
@@ -23,34 +27,39 @@ int main() {
               "range,speed");
 
   FILE* csv = std::fopen("fig8.csv", "w");
-  if (csv != nullptr) std::fprintf(csv, "range,speed,member,goodput_pct\n");
+  if (csv != nullptr) std::fprintf(csv, "protocol,range,speed,member,goodput_pct\n");
 
-  for (const Config& cfg : configs) {
-    harness::ScenarioConfig c = bench::paper_base();
-    c.with_range(cfg.range).with_max_speed(cfg.speed);
-    c.with_protocol(harness::Protocol::maodv_gossip);
+  for (harness::Protocol protocol : protocols) {
+    const std::string& pname = harness::ProtocolRegistry::instance().name_of(protocol);
+    if (protocols.size() > 1) std::printf("-- %s --\n", pname.c_str());
+    for (const Config& cfg : configs) {
+      harness::ScenarioConfig c = bench::paper_base();
+      c.with_range(cfg.range).with_max_speed(cfg.speed);
+      c.with_protocol(protocol);
 
-    // Per-member goodput, averaged across seeds.
-    std::vector<double> sums;
-    for (std::uint32_t s = 1; s <= seeds; ++s) {
-      stats::RunResult r = harness::run_scenario(c.with_seed(s));
-      if (sums.empty()) sums.assign(r.members.size(), 0.0);
-      for (std::size_t i = 0; i < r.members.size(); ++i) {
-        sums[i] += r.members[i].goodput_pct();
+      // Per-member goodput, averaged across seeds.
+      std::vector<double> sums;
+      for (std::uint32_t s = 1; s <= seeds; ++s) {
+        stats::RunResult r = harness::run_scenario(c.with_seed(s));
+        if (sums.empty()) sums.assign(r.members.size(), 0.0);
+        for (std::size_t i = 0; i < r.members.size(); ++i) {
+          sums[i] += r.members[i].goodput_pct();
+        }
       }
-    }
-    std::printf("%4.0fm, %.1fm/s |", cfg.range, cfg.speed);
-    double total = 0.0;
-    for (std::size_t i = 0; i < sums.size(); ++i) {
-      const double g = sums[i] / seeds;
-      total += g;
-      std::printf(" %5.1f", g);
-      if (csv != nullptr) {
-        std::fprintf(csv, "%g,%g,%zu,%f\n", cfg.range, cfg.speed, i + 1, g);
+      std::printf("%4.0fm, %.1fm/s |", cfg.range, cfg.speed);
+      double total = 0.0;
+      for (std::size_t i = 0; i < sums.size(); ++i) {
+        const double g = sums[i] / seeds;
+        total += g;
+        std::printf(" %5.1f", g);
+        if (csv != nullptr) {
+          std::fprintf(csv, "%s,%g,%g,%zu,%f\n", pname.c_str(), cfg.range, cfg.speed,
+                       i + 1, g);
+        }
       }
+      std::printf(" | %5.1f\n", sums.empty() ? 100.0 : total / sums.size());
+      std::fflush(stdout);
     }
-    std::printf(" | %5.1f\n", sums.empty() ? 100.0 : total / sums.size());
-    std::fflush(stdout);
   }
   if (csv != nullptr) std::fclose(csv);
   std::printf("(csv written to fig8.csv)\n\n");

@@ -7,15 +7,68 @@
 #define AG_BENCH_FIGURE_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "harness/experiment_builder.h"
 #include "harness/figure.h"
+#include "harness/protocol_registry.h"
 #include "harness/scenario.h"
 
 namespace ag::bench {
+
+// The paper's headline comparison pair.
+inline std::vector<harness::Protocol> headline_protocols() {
+  return {harness::Protocol::maodv_gossip, harness::Protocol::maodv};
+}
+
+// Parses a `--protocols=name,name` flag (registry string names, see
+// `quickstart` for the list) anywhere in argv; returns `fallback` when
+// absent. Unknown names print the registry's error and exit(2), so every
+// bench fails fast with the same message.
+inline std::vector<harness::Protocol> protocols_from_cli(
+    int argc, char** argv, std::vector<harness::Protocol> fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--protocols=", 12) != 0) continue;
+    std::vector<harness::Protocol> out;
+    std::string names{arg + 12};
+    std::size_t start = 0;
+    while (start <= names.size()) {
+      const std::size_t comma = names.find(',', start);
+      const std::string name =
+          names.substr(start, comma == std::string::npos ? comma : comma - start);
+      if (!name.empty()) {
+        try {
+          out.push_back(harness::ProtocolRegistry::instance().parse(name));
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+          std::exit(2);
+        }
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (out.empty()) {
+      std::fprintf(stderr, "%s: --protocols= needs at least one name\n", argv[0]);
+      std::exit(2);
+    }
+    return out;
+  }
+  return fallback;
+}
+
+// True when `flag` (e.g. "--smoke") appears in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
 
 // Paper section 5.1 defaults: 200x200 m, 40 nodes, 1/3 members, 600 s,
 // 2201 packets from t=120 s, gossip 1 msg/s. Range/speed set per figure.
@@ -30,20 +83,22 @@ inline std::string stem_of(const std::string& file_name) {
   return dot == std::string::npos ? file_name : file_name.substr(0, dot);
 }
 
-// Runs one x-sweep for both protocols (seeds in parallel) and emits the
-// figure as a table, a CSV, and BENCH_<stem>.json. `apply` mutates the
-// config for a given x value.
+// Runs one x-sweep over `protocols` (default: the headline pair; benches
+// pass protocols_from_cli so `--protocols=` selects any registered set)
+// and emits the figure as a table, a CSV, and BENCH_<stem>.json. `apply`
+// mutates the config for a given x value.
 inline void run_two_series_figure(
     const std::string& title, const std::string& x_label, const std::string& csv_name,
     const std::vector<double>& xs,
     const std::function<void(harness::ScenarioConfig&, double)>& apply,
-    std::uint32_t seeds, harness::ScenarioConfig base = paper_base()) {
+    std::uint32_t seeds, harness::ScenarioConfig base = paper_base(),
+    std::vector<harness::Protocol> protocols = headline_protocols()) {
   const std::string stem = stem_of(csv_name);
   const std::string json_name = "BENCH_" + stem + ".json";
   harness::ExperimentResult result =
       harness::Experiment::sweep(x_label, xs, apply)
           .base(base)
-          .protocols({harness::Protocol::maodv_gossip, harness::Protocol::maodv})
+          .protocols(std::move(protocols))
           .seeds(seeds)
           .parallel()
           .name(stem)

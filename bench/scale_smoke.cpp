@@ -1,0 +1,45 @@
+// Scaling smoke: exercises the parallel ExperimentBuilder on topologies
+// up to 3x the paper's 40 nodes (ROADMAP open item). The run is kept
+// short — this is a build-health and throughput check for larger
+// networks, not a paper figure; fig6/fig7 remain the measured node-count
+// sweeps. Range scales as 75*sqrt(40/n) to hold mean degree roughly
+// constant while the area stays 200x200 m.
+//
+// Usage: scale_smoke [--protocols=name,name]
+#include <cmath>
+#include <cstdio>
+
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ag;
+  const std::uint32_t seeds = harness::seeds_from_env(1);
+
+  harness::ScenarioConfig base = bench::paper_base();
+  base.duration = sim::SimTime::seconds(80.0);
+  base.workload.start = sim::SimTime::seconds(20.0);
+  base.workload.end = sim::SimTime::seconds(60.0);
+
+  harness::ExperimentResult result =
+      harness::Experiment::sweep("node_count", {40, 80, 120},
+                                 [](harness::ScenarioConfig& c, double x) {
+                                   const double n = x;
+                                   c.with_nodes(static_cast<std::size_t>(n))
+                                       .with_range(75.0 * std::sqrt(40.0 / n))
+                                       .with_max_speed(1.0);
+                                 })
+          .base(base)
+          .protocols(bench::protocols_from_cli(argc, argv, bench::headline_protocols()))
+          .seeds(seeds)
+          .parallel()
+          .name("scale_smoke")
+          .run();
+
+  result.print("Scaling smoke (constant mean degree, short run)", "#nodes");
+  if (!result.write_json("BENCH_scale_smoke.json")) {
+    std::fprintf(stderr, "error: failed to write BENCH_scale_smoke.json\n");
+    return 1;
+  }
+  std::printf("(json written to BENCH_scale_smoke.json; %u seeds)\n", seeds);
+  return 0;
+}

@@ -32,6 +32,15 @@ void AodvRouter::start() {
   }
 }
 
+void AodvRouter::reset_unicast_state() {
+  hello_timer_.stop();
+  sweep_timer_.stop();
+  routes_.clear();
+  neighbors_.clear();
+  rreq_cache_.clear();
+  discoveries_.clear();  // RAII timers cancel any pending discovery retry
+}
+
 // ---------------------------------------------------------------- sending
 
 void AodvRouter::send_unicast(net::Packet pkt) {

@@ -76,6 +76,12 @@ class AodvRouter : public mac::MacListener {
   void on_unicast_failed(const net::Packet& packet, net::NodeId next_hop) override;
 
  protected:
+  // Crash support shared with the derived routers: stops hello/sweep
+  // beaconing and forgets routes, neighbors, RREQ dedup state and pending
+  // discoveries. own_seq_ and rreq_id_ survive (stable storage) so peers'
+  // freshness rules keep working across the reboot.
+  void reset_unicast_state();
+
   // --- extension points for MAODV ---
   // Returns true if the join RREQ was answered (suppresses rebroadcast).
   virtual bool try_answer_join_rreq(const RreqMsg&, net::NodeId /*from*/) { return false; }

@@ -25,6 +25,9 @@ class NeighborTable {
 
   [[nodiscard]] std::size_t size() const { return last_heard_.size(); }
 
+  // Crash support: forget every neighbor (state wipe on reboot).
+  void clear() { last_heard_.clear(); }
+
  private:
   std::unordered_map<net::NodeId, sim::SimTime> last_heard_;
 };

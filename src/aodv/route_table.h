@@ -51,6 +51,9 @@ class RouteTable {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  // Crash support: forget every route (state wipe on reboot).
+  void clear() { entries_.clear(); }
+
  private:
   std::unordered_map<net::NodeId, RouteEntry> entries_;
 };

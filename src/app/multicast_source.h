@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "app/workload.h"
 #include "sim/simulator.h"
@@ -29,9 +30,13 @@ class MulticastSource {
   }
 
   [[nodiscard]] std::uint32_t sent() const { return sent_; }
+  // When each packet left the application — the basis for per-member
+  // eligibility accounting under dynamic membership.
+  [[nodiscard]] const std::vector<sim::SimTime>& send_times() const { return send_times_; }
 
  private:
   void tick() {
+    send_times_.push_back(sim_.now());
     send_(workload_.payload_bytes);
     ++sent_;
     if (sim_.now() + workload_.interval <= workload_.end) {
@@ -44,6 +49,7 @@ class MulticastSource {
   SendFn send_;
   sim::Timer timer_;
   std::uint32_t sent_{0};
+  std::vector<sim::SimTime> send_times_;
 };
 
 }  // namespace ag::app

@@ -1,0 +1,88 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ag::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan, FaultHooks hooks)
+    : sim_{sim}, plan_{std::move(plan)}, hooks_{std::move(hooks)} {
+  assert(hooks_.crash && hooks_.reboot && hooks_.leave && hooks_.join &&
+         hooks_.partition_begin && hooks_.partition_heal);
+  std::size_t max_node = 0;
+  for (const CrashEvent& e : plan_.crashes) max_node = std::max(max_node, e.node + 1);
+  for (const MembershipEvent& e : plan_.membership) {
+    max_node = std::max(max_node, e.node + 1);
+  }
+  down_since_.resize(max_node, {sim::SimTime::zero(), false});
+}
+
+void FaultInjector::arm() {
+  for (const CrashEvent& ev : plan_.crashes) {
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] { apply_crash(ev); });
+  }
+  for (const PartitionEvent& ev : plan_.partitions) {
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] { apply_partition(ev); });
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s + ev.heal_after_s),
+                     [this] { apply_heal(); });
+  }
+  for (const MembershipEvent& ev : plan_.membership) {
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] {
+      if (ev.join) {
+        ++stats_.joins;
+        hooks_.join(ev.node);
+      } else {
+        ++stats_.leaves;
+        hooks_.leave(ev.node);
+      }
+    });
+  }
+}
+
+void FaultInjector::apply_crash(const CrashEvent& ev) {
+  if (node_down(ev.node)) return;  // defensive; validate() rejects overlaps
+  down_since_[ev.node] = {sim_.now(), true};
+  ++stats_.crashes;
+  hooks_.crash(ev.node, ev.policy);
+  if (ev.down_for_s > 0.0) {
+    sim_.schedule_after(sim::Duration::seconds(ev.down_for_s),
+                        [this, node = ev.node, policy = ev.policy] {
+                          apply_reboot(node, policy);
+                        });
+  }
+}
+
+void FaultInjector::apply_reboot(std::size_t node, RebootPolicy policy) {
+  if (!node_down(node)) return;
+  stats_.node_down_s += (sim_.now() - down_since_[node].first).to_seconds();
+  down_since_[node].second = false;
+  ++stats_.reboots;
+  hooks_.reboot(node, policy);
+}
+
+void FaultInjector::apply_partition(const PartitionEvent& ev) {
+  if (partition_active_) return;  // defensive; validate() rejects overlaps
+  partition_active_ = true;
+  partition_since_ = sim_.now();
+  ++stats_.partitions;
+  hooks_.partition_begin(ev);
+}
+
+void FaultInjector::apply_heal() {
+  if (!partition_active_) return;
+  stats_.partitioned_s += (sim_.now() - partition_since_).to_seconds();
+  partition_active_ = false;
+  ++stats_.heals;
+  hooks_.partition_heal();
+}
+
+stats::FaultStats FaultInjector::stats() const {
+  stats::FaultStats out = stats_;
+  for (const auto& [since, down] : down_since_) {
+    if (down) out.node_down_s += (sim_.now() - since).to_seconds();
+  }
+  if (partition_active_) out.partitioned_s += (sim_.now() - partition_since_).to_seconds();
+  return out;
+}
+
+}  // namespace ag::faults

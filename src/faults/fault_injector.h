@@ -1,0 +1,71 @@
+// Executes a FaultPlan against a live network: schedules every event on
+// the simulator clock and fires host-provided hooks (the harness wires
+// them to the channel, node stacks and sinks). The injector owns the
+// crash/partition bookkeeping — pairing reboots with crashes, tracking
+// downtime, and guarding against degenerate sequences (a crash landing on
+// an already-down node is dropped rather than double-applied).
+#ifndef AG_FAULTS_FAULT_INJECTOR_H
+#define AG_FAULTS_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "sim/simulator.h"
+#include "stats/run_result.h"
+
+namespace ag::faults {
+
+// What the host network lets the injector do. All hooks must be set.
+struct FaultHooks {
+  // Take the node's radio down; wipe or preserve its stack state.
+  std::function<void(std::size_t node, RebootPolicy)> crash;
+  // Bring the radio back; restart wiped machinery and rejoin if needed.
+  std::function<void(std::size_t node, RebootPolicy)> reboot;
+  std::function<void(std::size_t node)> leave;
+  std::function<void(std::size_t node)> join;
+  // Compute the cut from current positions and install it in the channel.
+  std::function<void(const PartitionEvent&)> partition_begin;
+  std::function<void()> partition_heal;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, FaultPlan plan, FaultHooks hooks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every plan event on the simulator. Call once after the
+  // network is fully wired.
+  void arm();
+
+  [[nodiscard]] bool node_down(std::size_t node) const {
+    return node < down_since_.size() && down_since_[node].second;
+  }
+  [[nodiscard]] bool partition_active() const { return partition_active_; }
+
+  // Snapshot of the fault record; open intervals (nodes still down, a
+  // partition still active) are counted up to the current clock.
+  [[nodiscard]] stats::FaultStats stats() const;
+
+ private:
+  void apply_crash(const CrashEvent& ev);
+  void apply_reboot(std::size_t node, RebootPolicy policy);
+  void apply_partition(const PartitionEvent& ev);
+  void apply_heal();
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  // Per node: (down-since timestamp, currently-down flag).
+  std::vector<std::pair<sim::SimTime, bool>> down_since_;
+  bool partition_active_{false};
+  sim::SimTime partition_since_;
+  stats::FaultStats stats_;
+};
+
+}  // namespace ag::faults
+
+#endif  // AG_FAULTS_FAULT_INJECTOR_H

@@ -1,0 +1,135 @@
+// Declarative fault & churn plans. A FaultPlan is a list of timed events —
+// node crashes/reboots, a geometric channel partition, and dynamic group
+// membership (leave/rejoin) — executed against a live network by the
+// FaultInjector. Plans are either scripted directly (examples, tests) or
+// synthesized deterministically from a FaultSpec (the sweepable axes:
+// churn rate, crash fraction, partition duration).
+#ifndef AG_FAULTS_FAULT_PLAN_H
+#define AG_FAULTS_FAULT_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ag::faults {
+
+// What a crashed node remembers when it comes back up. `wipe` models a
+// power-cycle: routing tables, tree state and gossip buffers are gone
+// (data-plane sequence counters survive, as if kept in stable storage, so
+// peers' duplicate suppression stays coherent). `preserve` models a radio
+// outage: the node was isolated but never lost state.
+enum class RebootPolicy : std::uint8_t { wipe, preserve };
+
+struct CrashEvent {
+  std::size_t node{0};
+  double at_s{0.0};
+  // Seconds until the node reboots; <= 0 means it never comes back.
+  double down_for_s{30.0};
+  RebootPolicy policy{RebootPolicy::wipe};
+};
+
+// Severs the channel between the two node sets induced by the line
+// a*x + b*y <= c, evaluated against node positions at activation time.
+// a == b == 0 requests an automatic cut: a vertical line through the
+// median x coordinate, which always yields two non-trivial halves.
+struct PartitionEvent {
+  double at_s{0.0};
+  double heal_after_s{60.0};
+  double a{0.0};
+  double b{0.0};
+  double c{0.0};
+};
+
+struct MembershipEvent {
+  std::size_t node{0};
+  double at_s{0.0};
+  bool join{false};  // false = leave the group
+};
+
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<PartitionEvent> partitions;
+  std::vector<MembershipEvent> membership;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && partitions.empty() && membership.empty();
+  }
+  [[nodiscard]] std::size_t event_count() const {
+    return crashes.size() + partitions.size() + membership.size();
+  }
+
+  // Fluent builders for scripted scenarios.
+  FaultPlan& crash(std::size_t node, double at_s, double down_for_s,
+                   RebootPolicy policy = RebootPolicy::wipe) {
+    crashes.push_back({node, at_s, down_for_s, policy});
+    return *this;
+  }
+  // Vertical cut at x = line_x (auto-median when line_x is negative).
+  FaultPlan& partition_at_x(double line_x, double at_s, double heal_after_s) {
+    if (line_x < 0) {
+      partitions.push_back({at_s, heal_after_s, 0.0, 0.0, 0.0});
+    } else {
+      partitions.push_back({at_s, heal_after_s, 1.0, 0.0, line_x});
+    }
+    return *this;
+  }
+  FaultPlan& leave(std::size_t node, double at_s) {
+    membership.push_back({node, at_s, false});
+    return *this;
+  }
+  FaultPlan& join(std::size_t node, double at_s) {
+    membership.push_back({node, at_s, true});
+    return *this;
+  }
+
+  // Sanity-checks the plan against a concrete network: node indices in
+  // range, non-negative times, positive heal delays, per-node crash
+  // intervals non-overlapping, and at most one partition active at a time
+  // (the channel models a single cut). Throws std::invalid_argument.
+  void validate(std::size_t node_count) const;
+};
+
+// The sweepable fault axes: a spec is expanded into concrete events by
+// synthesize_into, deterministically from its own rng stream. All fields
+// zero (the default) means no faults at all.
+struct FaultSpec {
+  // Expected member leave+rejoin cycles per minute across the group
+  // (the churn axis of the churn bench).
+  double churn_per_min{0.0};
+  double churn_downtime_s{20.0};
+  // Fraction of nodes (excluding the source) crashed once mid-run.
+  double crash_fraction{0.0};
+  double crash_downtime_s{30.0};
+  RebootPolicy crash_policy{RebootPolicy::wipe};
+  // One partition episode of this length mid-run when > 0.
+  double partition_duration_s{0.0};
+  // Episode start; negative centers it in the run.
+  double partition_at_s{-1.0};
+
+  [[nodiscard]] bool any() const {
+    return churn_per_min > 0.0 || crash_fraction > 0.0 || partition_duration_s > 0.0;
+  }
+};
+
+// Appends the events a spec describes for one concrete run to `plan`.
+// Deterministic in (spec, topology sizes, rng seed); the source node is
+// never churned or crashed, so packets_sent stays a meaningful
+// denominator. Members are node indices [0, member_count).
+void synthesize_into(FaultPlan& plan, const FaultSpec& spec, std::size_t node_count,
+                     std::size_t member_count, std::size_t source_index,
+                     double duration_s, sim::Rng rng);
+
+// What a ScenarioConfig carries: scripted events plus a synthesizable
+// spec. Both default empty — fault hooks are zero-cost when unused.
+struct FaultConfig {
+  FaultPlan plan;
+  FaultSpec spec;
+
+  [[nodiscard]] bool active() const { return !plan.empty() || spec.any(); }
+};
+
+}  // namespace ag::faults
+
+#endif  // AG_FAULTS_FAULT_PLAN_H

@@ -37,6 +37,7 @@ std::uint32_t FloodRouter::send_multicast(net::GroupId group, std::uint16_t payl
   data.origin = self_;
   data.seq = seq;
   data.payload_bytes = payload_bytes;
+  data.sent_at = mac_.now();
   data.hops = 0;
   remember(net::MsgId{self_, seq});
   ++counters_.data_originated;

@@ -27,6 +27,14 @@ class FloodRouter final : public mac::MacListener, public harness::MulticastRout
     observer_ = observer;
   }
 
+  // Crash support: membership and the dedup window are volatile;
+  // next_seq_ survives (see harness::MulticastRouter::reset()).
+  void reset() override {
+    members_.clear();
+    seen_.clear();
+    seen_order_.clear();
+  }
+
   void join_group(net::GroupId group) override;
   void leave_group(net::GroupId group) override;
   std::uint32_t send_multicast(net::GroupId group,

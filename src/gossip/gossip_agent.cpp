@@ -23,6 +23,13 @@ void GossipAgent::start() {
   round_timer_.start(params_.round_interval, &rng_, params_.round_jitter);
 }
 
+void GossipAgent::reset() {
+  round_timer_.stop();
+  groups_.clear();
+  nm_.clear();
+  rounds_since_nm_refresh_ = 0;
+}
+
 GossipAgent::GroupState& GossipAgent::state_for(net::GroupId group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) {
@@ -80,7 +87,14 @@ void GossipAgent::on_tree_neighbor_removed(net::GroupId group, net::NodeId neigh
 
 void GossipAgent::on_self_membership_changed(net::GroupId group, bool member) {
   nm_.on_self_membership(group, member);
-  if (member) state_for(group);  // allocate tables up front
+  if (member) {
+    state_for(group);  // allocate tables up front
+  } else {
+    // Dynamic membership: a departing member drops its per-group gossip
+    // state, so a later rejoin starts cold instead of pulling the whole
+    // gap it was unsubscribed for.
+    groups_.erase(group);
+  }
 }
 
 void GossipAgent::on_member_learned(net::GroupId group, net::NodeId member,
@@ -97,7 +111,9 @@ void GossipAgent::run_round() {
     rounds_since_nm_refresh_ = 0;
     nm_.republish_all();
   }
+  const bool aging = params_.member_cache_ttl > sim::Duration::zero();
   for (auto& [group, gs] : groups_) {
+    if (aging) gs->cache.expire_older_than(sim_.now() - params_.member_cache_ttl);
     if (!adapter_.is_member(group)) continue;
     ++counters_.rounds;
     gossip_once(group, *gs);
@@ -176,14 +192,21 @@ void GossipAgent::on_gossip_packet(const net::Packet& packet, net::NodeId from) 
   std::visit(net::overloaded{
                  [&](const GossipMsg& msg) {
                    if (msg.cached) {
-                     // Unicast straight to us: act as the acceptor.
+                     // Unicast straight to us: act as the acceptor — unless
+                     // we already left the group and a peer's stale member
+                     // cache is still pointing at us (churn).
+                     if (!adapter_.is_member(msg.group)) return;
                      ++counters_.walks_accepted;
                      handle_request(msg);
                    } else {
                      handle_walk(msg, from);
                    }
                  },
-                 [&](const GossipReplyMsg& reply) { handle_reply(reply); },
+                 [&](const GossipReplyMsg& reply) {
+                   // Drop replies that arrive after we left the group;
+                   // rebuilding state for them would undo the departure.
+                   if (adapter_.is_member(reply.group)) handle_reply(reply);
+                 },
                  [&](const NearestMemberMsg& nm) {
                    nm_.on_update_received(nm.group, from, nm.distance_hops);
                  },

@@ -37,6 +37,11 @@ class GossipAgent final : public RouterObserver {
   // false — the agent still tracks delivery for accounting).
   void start();
 
+  // Crash support (FaultInjector, wipe policy): stops the rounds and
+  // drops every group's tables and the nearest-member gradient. Counters
+  // survive — they are cumulative run statistics. start() resumes.
+  void reset();
+
   struct Counters {
     std::uint64_t delivered_unique{0};
     std::uint64_t delivered_via_gossip{0};

@@ -18,11 +18,12 @@ bool MemberCache::contains(net::NodeId member) const {
 void MemberCache::observe(net::NodeId member, std::uint16_t numhops, sim::SimTime now) {
   if (Entry* e = find(member)) {
     if (numhops > 0) e->numhops = numhops;
+    e->last_seen = now;
     return;
   }
   const std::uint16_t hops = numhops > 0 ? numhops : std::uint16_t{0xFFFF};
   if (entries_.size() < capacity_) {
-    entries_.push_back(Entry{member, hops, sim::SimTime::zero()});
+    entries_.push_back(Entry{member, hops, sim::SimTime::zero(), now});
     return;
   }
   // Paper's rule: delete a member with greater numhops; if none, replace
@@ -31,14 +32,19 @@ void MemberCache::observe(net::NodeId member, std::uint16_t numhops, sim::SimTim
       entries_.begin(), entries_.end(),
       [](const Entry& a, const Entry& b) { return a.numhops < b.numhops; });
   if (farthest != entries_.end() && farthest->numhops > hops) {
-    *farthest = Entry{member, hops, sim::SimTime::zero()};
+    *farthest = Entry{member, hops, sim::SimTime::zero(), now};
     return;
   }
   auto most_recent = std::max_element(
       entries_.begin(), entries_.end(),
       [](const Entry& a, const Entry& b) { return a.last_gossip < b.last_gossip; });
-  *most_recent = Entry{member, hops, sim::SimTime::zero()};
-  (void)now;
+  *most_recent = Entry{member, hops, sim::SimTime::zero(), now};
+}
+
+std::size_t MemberCache::expire_older_than(sim::SimTime cutoff) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [&](const Entry& e) { return e.last_seen < cutoff; });
+  return before - entries_.size();
 }
 
 void MemberCache::note_gossiped(net::NodeId member, sim::SimTime now) {

@@ -23,6 +23,7 @@ class MemberCache {
     net::NodeId node;
     std::uint16_t numhops{0};
     sim::SimTime last_gossip;
+    sim::SimTime last_seen;  // latest traffic evidence (expiry under churn)
   };
 
   // Records that traffic from `member` was seen `numhops` away (0 hops =
@@ -31,6 +32,10 @@ class MemberCache {
 
   // Stamps the time of an initiated gossip with `member`.
   void note_gossiped(net::NodeId member, sim::SimTime now);
+
+  // Drops entries with no traffic evidence since `cutoff` — how departed
+  // or crashed members age out under churn. Returns the number removed.
+  std::size_t expire_older_than(sim::SimTime cutoff);
 
   // Uniformly random cached member; invalid() when empty.
   [[nodiscard]] net::NodeId pick_random(sim::Rng& rng) const;

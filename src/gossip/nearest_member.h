@@ -37,6 +37,9 @@ class NearestMemberTracker {
   // What this node would advertise to `exclude` right now.
   [[nodiscard]] std::uint16_t advertised_to(net::GroupId group, net::NodeId exclude) const;
 
+  // Crash support: forget every group's gradient (state wipe on reboot).
+  void clear() { groups_.clear(); }
+
   // Soft-state refresh: re-advertises current values to every neighbor,
   // bypassing change suppression. A MODIFY can be lost forever when it is
   // sent before the far side has activated the edge (tree activation is

@@ -38,6 +38,10 @@ struct GossipParams {
   double p_accept{0.5};
   std::size_t max_lost_in_message{10};
   std::size_t member_cache_size{10};
+  // Age out member-cache entries not confirmed by traffic for this long —
+  // how peers forget departed/crashed members under churn. zero() (the
+  // default, and the paper's static-membership setting) disables aging.
+  sim::Duration member_cache_ttl{sim::Duration::zero()};
   std::size_t lost_table_capacity{200};
   std::size_t history_capacity{100};
   // Safety bound on walk length; tree propagation already terminates at

@@ -34,11 +34,22 @@ ExperimentBuilder::ApplyFn named_knob(const std::string& param) {
       c.gossip.round_interval = sim::Duration::ms(static_cast<std::int64_t>(x));
     };
   }
+  // Fault axes (see faults::FaultSpec): membership churn rate, crashed
+  // node fraction, and partition episode length.
+  if (param == "churn_per_min") {
+    return [](ScenarioConfig& c, double x) { c.faults.spec.churn_per_min = x; };
+  }
+  if (param == "crash_fraction") {
+    return [](ScenarioConfig& c, double x) { c.faults.spec.crash_fraction = x; };
+  }
+  if (param == "partition_s") {
+    return [](ScenarioConfig& c, double x) { c.faults.spec.partition_duration_s = x; };
+  }
   throw std::invalid_argument(
       "unknown sweep parameter \"" + param +
       "\" (known: range_m, max_speed_mps, node_count, member_fraction, "
-      "gossip_interval_ms); use Experiment::sweep(param, values, apply) for "
-      "custom knobs");
+      "gossip_interval_ms, churn_per_min, crash_fraction, partition_s); use "
+      "Experiment::sweep(param, values, apply) for custom knobs");
 }
 
 std::string json_escaped(const std::string& s) {

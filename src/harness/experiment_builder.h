@@ -44,7 +44,8 @@ class ExperimentBuilder {
   using ApplyFn = std::function<void(ScenarioConfig&, double)>;
 
   // Sweep a named ScenarioConfig knob: "range_m", "max_speed_mps",
-  // "node_count", "member_fraction", or "gossip_interval_ms". Unknown
+  // "node_count", "member_fraction", "gossip_interval_ms", or a fault
+  // axis — "churn_per_min", "crash_fraction", "partition_s". Unknown
   // names throw std::invalid_argument immediately.
   ExperimentBuilder(std::string param, std::vector<double> values);
   // Sweep an arbitrary knob: `apply(config, x)` mutates the config.

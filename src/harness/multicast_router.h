@@ -20,8 +20,17 @@ namespace ag::harness {
 class MulticastRouter : public gossip::RoutingAdapter {
  public:
   // Starts protocol machinery (hello beaconing, refresh timers). Called
-  // once after wiring; stateless protocols need nothing.
+  // once after wiring; stateless protocols need nothing. Called again
+  // after reset() when a crashed node reboots.
   virtual void start() {}
+
+  // Crash support (FaultInjector, wipe policy): drops all volatile
+  // protocol state — routes, neighbors, tree/mesh membership, dedup
+  // buffers — and stops periodic machinery, as a power-cycle would.
+  // Data-plane sequence counters survive (modeled as stable storage) so
+  // peers' duplicate suppression stays coherent when the node sources
+  // again. start() brings the protocol back up.
+  virtual void reset() {}
 
   // Wires the gossip layer (or any observer) into protocol events.
   virtual void set_observer(gossip::RouterObserver* observer) = 0;

@@ -1,5 +1,7 @@
 #include "harness/network.h"
 
+#include <algorithm>
+
 #include "harness/protocol_registry.h"
 
 namespace ag::harness {
@@ -8,6 +10,18 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
   mobility_ = std::make_unique<mobility::RandomWaypoint>(
       sim_, config_.node_count, config_.waypoint, sim_.rng().stream("mobility"));
   channel_ = std::make_unique<phy::Channel>(sim_, *mobility_, config_.phy);
+
+  // Resolve the run's fault plan up front: scripted events plus whatever
+  // the spec synthesizes for this seed (its own rng stream, so fault
+  // synthesis never perturbs mobility/MAC/gossip draws).
+  faults::FaultPlan plan = config_.faults.plan;
+  if (config_.faults.spec.any()) {
+    faults::synthesize_into(plan, config_.faults.spec, config_.node_count,
+                            config_.member_count(), source_index(),
+                            config_.duration.to_seconds(), sim_.rng().stream("faults"));
+  }
+  plan.validate(config_.node_count);
+  const bool faulted = !plan.empty();
 
   const ProtocolEntry& protocol = ProtocolRegistry::instance().entry(config_.protocol);
   const std::size_t members = config_.member_count();
@@ -28,12 +42,15 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
                                                          sim_.rng().stream("gossip", i));
     stack->router->set_observer(stack->agent.get());
 
-    if (i < members) {
+    // Fault runs give every node a sink so that a node joining mid-run
+    // (a plan membership event) is accounted from its first subscription.
+    if (i < members || faulted) {
       stack->sink = std::make_unique<app::MulticastSink>(sim_);
       app::MulticastSink* sink = stack->sink.get();
       stack->agent->set_deliver([sink](const net::MulticastData& d, bool via_gossip) {
         sink->on_deliver(d, via_gossip);
       });
+      if (faulted) sink->set_subscribed(i < members);
     }
     stacks_.push_back(std::move(stack));
   }
@@ -45,12 +62,14 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
       [&src](std::uint16_t bytes) { src.router->send_multicast(kGroup, bytes); });
 
   // Start protocol machinery and schedule joins spread over join_spread.
+  wants_member_.assign(config_.node_count, 0);
   sim::Rng join_rng = sim_.rng().stream("join");
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     NodeStack& s = *stacks_[i];
     s.router->start();
     s.agent->start();
     if (i < members) {
+      wants_member_[i] = 1;
       const auto delay = sim::Duration::us(
           join_rng.uniform_int(0, std::max<std::int64_t>(config_.join_spread.count_us(), 1)));
       sim_.schedule_after(delay,
@@ -58,9 +77,89 @@ Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.se
     }
   }
   source_->start();
+
+  if (faulted) {
+    injector_ = std::make_unique<faults::FaultInjector>(
+        sim_, std::move(plan),
+        faults::FaultHooks{
+            [this](std::size_t n, faults::RebootPolicy p) { fault_crash(n, p); },
+            [this](std::size_t n, faults::RebootPolicy p) { fault_reboot(n, p); },
+            [this](std::size_t n) { fault_leave(n); },
+            [this](std::size_t n) { fault_join(n); },
+            [this](const faults::PartitionEvent& ev) { fault_partition(ev); },
+            [this] { channel_->clear_partition(); },
+        });
+    injector_->arm();
+  }
 }
 
 void Network::run() { sim_.run_until(config_.duration); }
+
+// ------------------------------------------------------------ fault hooks
+
+void Network::fault_crash(std::size_t node, faults::RebootPolicy policy) {
+  channel_->set_node_down(node, true);
+  NodeStack& s = *stacks_[node];
+  if (policy == faults::RebootPolicy::wipe) {
+    s.mac->power_cycle();
+    s.router->reset();
+    s.agent->reset();
+  }
+  if (s.sink != nullptr) s.sink->set_subscribed(false);
+}
+
+void Network::fault_reboot(std::size_t node, faults::RebootPolicy policy) {
+  channel_->set_node_down(node, false);
+  NodeStack& s = *stacks_[node];
+  if (policy == faults::RebootPolicy::wipe) {
+    s.router->start();
+    s.agent->start();
+  }
+  if (wants_member_[node] != 0) {
+    // The application relaunches and re-subscribes (a no-op join when the
+    // preserve policy kept protocol membership alive).
+    s.router->join_group(kGroup);
+    if (s.sink != nullptr) s.sink->set_subscribed(true);
+  }
+}
+
+void Network::fault_leave(std::size_t node) {
+  wants_member_[node] = 0;
+  stacks_[node]->router->leave_group(kGroup);
+  if (stacks_[node]->sink != nullptr) stacks_[node]->sink->set_subscribed(false);
+}
+
+void Network::fault_join(std::size_t node) {
+  wants_member_[node] = 1;
+  stacks_[node]->router->join_group(kGroup);
+  if (stacks_[node]->sink != nullptr) stacks_[node]->sink->set_subscribed(true);
+}
+
+void Network::fault_partition(const faults::PartitionEvent& ev) {
+  const sim::SimTime now = sim_.now();
+  std::vector<std::uint8_t> side(stacks_.size(), 0);
+  if (ev.a == 0.0 && ev.b == 0.0) {
+    // Auto cut: vertical line through the median x coordinate, which
+    // always splits the network into two non-trivial halves.
+    std::vector<double> xs(stacks_.size());
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      xs[i] = mobility_->position_of(i, now).x;
+    }
+    std::vector<double> sorted = xs;
+    auto mid = sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2);
+    std::nth_element(sorted.begin(), mid, sorted.end());
+    const double median = *mid;
+    for (std::size_t i = 0; i < stacks_.size(); ++i) side[i] = xs[i] < median ? 1 : 0;
+  } else {
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      const mobility::Vec2 p = mobility_->position_of(i, now);
+      side[i] = (ev.a * p.x + ev.b * p.y <= ev.c) ? 1 : 0;
+    }
+  }
+  channel_->set_partition(std::move(side));
+}
+
+// ----------------------------------------------------------------- result
 
 stats::RunResult Network::result() const {
   stats::RunResult r;
@@ -68,9 +167,16 @@ stats::RunResult Network::result() const {
   r.packets_sent = source_ == nullptr ? 0 : source_->sent();
 
   const std::size_t members = config_.member_count();
-  for (std::size_t i = 0; i < members; ++i) {
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
     if (i == source_index()) continue;  // the source trivially has everything
     const NodeStack& s = *stacks_[i];
+    // Rows: the configured members, plus any node a fault plan subscribed
+    // mid-run. Nodes that never joined have nothing to report.
+    const bool configured_member = i < members;
+    if (!configured_member &&
+        (s.sink == nullptr || !s.sink->ever_subscribed())) {
+      continue;
+    }
     stats::MemberResult m;
     m.node = net::NodeId{static_cast<std::uint32_t>(i)};
     m.received = s.sink != nullptr ? s.sink->received() : 0;
@@ -78,6 +184,14 @@ stats::RunResult Network::result() const {
     m.replies_received = s.agent->counters().replies_received;
     m.replies_useful = s.agent->counters().replies_useful;
     m.mean_latency_s = s.sink != nullptr ? s.sink->mean_latency_s() : 0.0;
+    if (s.sink != nullptr && s.sink->tracking() && source_ != nullptr) {
+      // Churn accounting: the member answers only for packets sourced
+      // while it was subscribed.
+      m.eligible = 0;
+      for (sim::SimTime t : source_->send_times()) {
+        if (s.sink->subscribed_at(t)) ++m.eligible;
+      }
+    }
     r.members.push_back(m);
   }
 
@@ -94,6 +208,7 @@ stats::RunResult Network::result() const {
     t.nm_updates += g.nm_updates_sent;
     s->router->add_totals(t);
   }
+  if (injector_ != nullptr) r.faults = injector_->stats();
   return r;
 }
 

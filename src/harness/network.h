@@ -11,6 +11,7 @@
 
 #include "app/multicast_sink.h"
 #include "app/multicast_source.h"
+#include "faults/fault_injector.h"
 #include "gossip/gossip_agent.h"
 #include "harness/multicast_router.h"
 #include "harness/scenario.h"
@@ -59,8 +60,17 @@ class Network {
   [[nodiscard]] std::uint32_t packets_sent() const {
     return source_ == nullptr ? 0 : source_->sent();
   }
+  // The fault injector driving this run, or nullptr when the effective
+  // plan is empty (the common, zero-cost case).
+  [[nodiscard]] faults::FaultInjector* fault_injector() { return injector_.get(); }
 
  private:
+  // FaultInjector hooks (no-ops unless the scenario carries a plan).
+  void fault_crash(std::size_t node, faults::RebootPolicy policy);
+  void fault_reboot(std::size_t node, faults::RebootPolicy policy);
+  void fault_leave(std::size_t node);
+  void fault_join(std::size_t node);
+  void fault_partition(const faults::PartitionEvent& ev);
   struct NodeStack {
     std::unique_ptr<phy::Radio> radio;
     std::unique_ptr<mac::CsmaMac> mac;
@@ -75,6 +85,10 @@ class Network {
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
   std::unique_ptr<app::MulticastSource> source_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  // Application-level intent per node: whether it currently wants group
+  // membership (drives the automatic rejoin after a reboot).
+  std::vector<std::uint8_t> wants_member_;
 };
 
 // Builds, runs and summarizes one scenario.

@@ -5,9 +5,12 @@
 #define AG_HARNESS_SCENARIO_H
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "aodv/params.h"
 #include "app/workload.h"
+#include "faults/fault_plan.h"
 #include "gossip/params.h"
 #include "mac/mac_params.h"
 #include "maodv/params.h"
@@ -40,15 +43,34 @@ struct ScenarioConfig {
   odmrp::OdmrpParams odmrp{};
   gossip::GossipParams gossip{};
   app::Workload workload{};
+  // Fault & churn injection: scripted events plus the synthesizable spec
+  // (churn rate, crash fraction, partition duration). Empty by default —
+  // fault hooks are zero-cost when unused.
+  faults::FaultConfig faults{};
 
   sim::SimTime duration{sim::SimTime::seconds(600.0)};
   // Members join within [0, join_spread) of the start ("all the nodes
   // joined the group at the beginning of the simulation").
   sim::Duration join_spread{sim::Duration::seconds(5.0)};
 
+  // Group size implied by member_fraction, floored at 2 (a source plus at
+  // least one receiver). Rejects configurations that used to be clamped
+  // silently: fractions outside (0, 1] and groups larger than the network.
   [[nodiscard]] std::size_t member_count() const {
+    if (!(member_fraction > 0.0) || member_fraction > 1.0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: member_fraction must be in (0, 1], got " +
+          std::to_string(member_fraction));
+    }
     auto k = static_cast<std::size_t>(static_cast<double>(node_count) * member_fraction + 0.5);
-    return k < 2 ? 2 : k;
+    if (k < 2) k = 2;
+    if (k > node_count) {
+      throw std::invalid_argument(
+          "ScenarioConfig: member_count " + std::to_string(k) +
+          " exceeds node_count " + std::to_string(node_count) +
+          " (node_count must be at least 2)");
+    }
+    return k;
   }
 
   // Convenience setters used by benches/examples.

@@ -29,6 +29,21 @@ bool CsmaMac::send(net::NodeId mac_dst, net::Packet packet) {
   return true;
 }
 
+void CsmaMac::power_cycle() {
+  access_timer_.cancel();
+  ack_timer_.cancel();
+  queue_.clear();
+  last_rx_seq_.clear();
+  retries_ = 0;
+  cw_ = params_.cw_min;
+  backoff_slots_ = 0;
+  difs_done_ = false;
+  // A frame already on the air completes through the tx_ack path of
+  // on_transmit_complete, which touches no queue state; everything else
+  // returns straight to idle.
+  state_ = radio_.transmitting() ? State::tx_ack : State::idle;
+}
+
 void CsmaMac::begin_access() {
   assert(!queue_.empty());
   state_ = State::contending;

@@ -40,8 +40,14 @@ class CsmaMac final : public phy::RadioListener {
   // false when the interface queue is full (packet dropped).
   bool send(net::NodeId mac_dst, net::Packet packet);
 
+  // Crash support (FaultInjector): drops the interface queue and every
+  // retransmission/backoff state, as a power-cycle would. A frame already
+  // on the air finishes harmlessly.
+  void power_cycle();
+
   [[nodiscard]] net::NodeId self() const { return self_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
 
   struct Counters {
     std::uint64_t unicast_sent{0};

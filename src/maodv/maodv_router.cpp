@@ -21,6 +21,22 @@ void MaodvRouter::start() {
                         mparams_.group_hello_interval / 8);
 }
 
+void MaodvRouter::reset() {
+  grph_timer_.stop();
+  liveness_timer_.stop();
+  joins_.clear();  // RAII timers cancel any pending join retry
+  grafts_.clear();
+  grph_seen_.clear();
+  tree_beat_seen_.clear();
+  last_merge_attempt_.clear();
+  corrective_prune_at_.clear();
+  seen_data_.clear();
+  seen_data_order_.clear();
+  mrt_.clear();
+  reset_unicast_state();
+  // next_data_seq_ survives: see harness::MulticastRouter::reset().
+}
+
 void MaodvRouter::set_observer(gossip::RouterObserver* observer) {
   observer_ = observer;
   if (observer_ != nullptr) {

@@ -29,6 +29,7 @@ class MaodvRouter : public aodv::AodvRouter, public harness::MulticastRouter {
               aodv::AodvParams aodv_params, MaodvParams maodv_params, sim::Rng rng);
 
   void start() override;
+  void reset() override;
 
   // Wires the gossip layer (or any observer); also routes gossip-layer
   // unicast payloads delivered to this node into the observer.

@@ -63,6 +63,8 @@ class MulticastRouteTable {
   [[nodiscard]] GroupEntry* find(net::GroupId group);
   [[nodiscard]] const GroupEntry* find(net::GroupId group) const;
   void erase(net::GroupId group) { entries_.erase(group); }
+  // Crash support: forget every group (state wipe on reboot).
+  void clear() { entries_.clear(); }
 
   [[nodiscard]] auto begin() { return entries_.begin(); }
   [[nodiscard]] auto end() { return entries_.end(); }

@@ -23,6 +23,23 @@ void OdmrpRouter::start() {
   refresh_timer_.start(oparams_.refresh_interval, &rng(), oparams_.refresh_interval / 8);
 }
 
+void OdmrpRouter::reset() {
+  refresh_timer_.stop();
+  members_.clear();
+  seen_data_.clear();
+  seen_data_order_.clear();
+  query_seen_.clear();
+  // Per-group soft state is wiped, but data/query sequence counters
+  // survive: see harness::MulticastRouter::reset().
+  for (auto& [group, gs] : groups_) {
+    GroupState fresh;
+    fresh.next_data_seq = gs.next_data_seq;
+    fresh.next_query_seq = gs.next_query_seq;
+    gs = std::move(fresh);
+  }
+  reset_unicast_state();
+}
+
 void OdmrpRouter::set_observer(gossip::RouterObserver* observer) {
   observer_ = observer;
   if (observer_ != nullptr) {

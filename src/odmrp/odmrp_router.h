@@ -34,6 +34,7 @@ class OdmrpRouter final : public aodv::AodvRouter, public harness::MulticastRout
               aodv::AodvParams aodv_params, OdmrpParams odmrp_params, sim::Rng rng);
 
   void start() override;
+  void reset() override;
   void set_observer(gossip::RouterObserver* observer) override;
 
   void join_group(net::GroupId group) override;

@@ -27,19 +27,37 @@ double Channel::distance_between(std::size_t a, std::size_t b) const {
   return mobility::distance(mobility_.position_of(a, now), mobility_.position_of(b, now));
 }
 
+void Channel::set_node_down(std::size_t node, bool down) {
+  if (node >= radios_.size()) return;
+  if (down_.size() < radios_.size()) down_.resize(radios_.size(), 0);
+  down_[node] = down ? 1 : 0;
+  // Going down kills any frame currently being received; the first-bit
+  // guard in transmit() only covers frames that had not yet arrived.
+  if (down) radios_[node]->abort_receptions();
+}
+
+void Channel::set_partition(std::vector<std::uint8_t> side_of_node) {
+  assert(side_of_node.size() == radios_.size() && "one side per attached radio");
+  partition_ = std::move(side_of_node);
+}
+
 void Channel::transmit(std::size_t sender, const mac::Frame& frame) {
+  if (is_node_down(sender)) return;  // a downed radio radiates nothing
   ++transmissions_;
   const sim::SimTime now = sim_.now();
   const sim::Duration airtime = airtime_of(frame);
   const mobility::Vec2 from = mobility_.position_of(sender, now);
   for (std::size_t i = 0; i < radios_.size(); ++i) {
     if (i == sender) continue;
+    if (!down_.empty() && down_[i] != 0) continue;
+    if (!partition_.empty() && partition_[i] != partition_[sender]) continue;
     const double d = mobility::distance(from, mobility_.position_of(i, now));
     if (d > params_.transmission_range_m) continue;
     if (drop_hook_ && drop_hook_(sender, i)) continue;
     const auto prop = sim::Duration::us(
         static_cast<std::int64_t>(d / params_.propagation_mps * 1e6) + 1);
     sim_.schedule_after(prop, [this, i, frame, end = now + prop + airtime] {
+      if (is_node_down(i)) return;  // crashed between send and first bit
       radios_[i]->begin_reception(frame, end);
     });
   }

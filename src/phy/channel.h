@@ -38,6 +38,18 @@ class Channel {
   using DropHook = std::function<bool(std::size_t sender, std::size_t receiver)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  // --- fault hooks (driven by the FaultInjector; zero-cost when unused) ---
+  // A downed radio radiates nothing and hears nothing.
+  void set_node_down(std::size_t node, bool down);
+  [[nodiscard]] bool is_node_down(std::size_t node) const {
+    return node < down_.size() && down_[node] != 0;
+  }
+  // Installs a cut: frames cross only between nodes on the same side.
+  // `side_of_node` must have one entry per attached radio.
+  void set_partition(std::vector<std::uint8_t> side_of_node);
+  void clear_partition() { partition_.clear(); }
+  [[nodiscard]] bool partition_active() const { return !partition_.empty(); }
+
   [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
   [[nodiscard]] double distance_between(std::size_t a, std::size_t b) const;
 
@@ -47,6 +59,8 @@ class Channel {
   PhyParams params_;
   std::vector<Radio*> radios_;
   DropHook drop_hook_;
+  std::vector<std::uint8_t> down_;       // empty until a fault downs a node
+  std::vector<std::uint8_t> partition_;  // empty while no cut is active
   std::uint64_t transmissions_{0};
 };
 

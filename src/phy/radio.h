@@ -49,6 +49,12 @@ class Radio {
   // Channel-driven: a frame's first bit arrives; last bit at `end`.
   void begin_reception(const mac::Frame& frame, sim::SimTime end);
 
+  // Crash support: destroys every reception in progress (the radio lost
+  // power mid-frame). Not counted as a collision — nothing interfered.
+  void abort_receptions() {
+    for (ActiveRx& rx : active_rx_) rx.corrupt = true;
+  }
+
   // Counters for the stats module.
   struct Counters {
     std::uint64_t frames_sent{0};

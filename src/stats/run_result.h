@@ -11,11 +11,18 @@
 namespace ag::stats {
 
 struct MemberResult {
+  // "All packets": the member was subscribed for the whole run, so every
+  // sourced packet counts against it (the paper's static-membership case).
+  static constexpr std::uint64_t kEligibleAll = ~std::uint64_t{0};
+
   net::NodeId node;
   std::uint64_t received{0};      // unique data packets delivered
   std::uint64_t via_gossip{0};    // of which recovered by gossip replies
   std::uint64_t replies_received{0};
   std::uint64_t replies_useful{0};
+  // Packets sourced while this member was subscribed — the denominator of
+  // its delivery ratio under churn. kEligibleAll outside fault runs.
+  std::uint64_t eligible{kEligibleAll};
   double mean_latency_s{0.0};
 
   // Paper section 5.5: goodput = % of non-duplicate messages among all
@@ -47,11 +54,29 @@ struct NetworkTotals {
   std::uint64_t leaders_elected{0};
 };
 
+// Record of the faults a run actually experienced (all zero outside
+// fault/churn scenarios).
+struct FaultStats {
+  std::uint64_t crashes{0};
+  std::uint64_t reboots{0};
+  std::uint64_t leaves{0};
+  std::uint64_t joins{0};
+  std::uint64_t partitions{0};
+  std::uint64_t heals{0};
+  double node_down_s{0.0};     // summed per-node radio downtime
+  double partitioned_s{0.0};   // wall-clock the channel was cut
+
+  [[nodiscard]] bool any() const {
+    return crashes + reboots + leaves + joins + partitions + heals > 0;
+  }
+};
+
 struct RunResult {
   std::uint64_t seed{0};
   std::uint32_t packets_sent{0};
   std::vector<MemberResult> members;  // receivers (source excluded)
   NetworkTotals totals;
+  FaultStats faults;
 
   [[nodiscard]] std::vector<double> received_per_member() const {
     std::vector<double> out;
@@ -60,9 +85,36 @@ struct RunResult {
     return out;
   }
   [[nodiscard]] Summary received_summary() const { return summarize(received_per_member()); }
+  // Packets member `m` is accountable for (kEligibleAll resolves to the
+  // full source output).
+  [[nodiscard]] std::uint64_t eligible_of(const MemberResult& m) const {
+    return m.eligible == MemberResult::kEligibleAll ? packets_sent : m.eligible;
+  }
   [[nodiscard]] double delivery_ratio() const {
     if (packets_sent == 0 || members.empty()) return 0.0;
-    return received_summary().mean / static_cast<double>(packets_sent);
+    bool full_run_members = true;
+    for (const MemberResult& m : members) {
+      if (eligible_of(m) != packets_sent) {
+        full_run_members = false;
+        break;
+      }
+    }
+    // Static membership (the paper's experiments): the historical formula,
+    // kept verbatim so fault-free runs aggregate bit-identically.
+    if (full_run_members) {
+      return received_summary().mean / static_cast<double>(packets_sent);
+    }
+    // Churn runs: each member is scored only over the packets sourced
+    // while it was subscribed; members never eligible are skipped.
+    double sum = 0.0;
+    std::size_t scored = 0;
+    for (const MemberResult& m : members) {
+      const std::uint64_t eligible = eligible_of(m);
+      if (eligible == 0) continue;
+      sum += static_cast<double>(m.received) / static_cast<double>(eligible);
+      ++scored;
+    }
+    return scored == 0 ? 0.0 : sum / static_cast<double>(scored);
   }
   [[nodiscard]] double mean_goodput_pct() const {
     if (members.empty()) return 100.0;

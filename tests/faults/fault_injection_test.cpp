@@ -1,0 +1,253 @@
+// End-to-end coverage of the fault & churn subsystem: the FaultInjector
+// driving a full harness Network (crashes, dynamic membership, partition
+// heal) plus the zero-cost guarantee that an armed-but-idle fault layer
+// perturbs nothing.
+#include <gtest/gtest.h>
+
+#include "faults/fault_injector.h"
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "testutil/stack_fixture.h"
+
+namespace ag::harness {
+namespace {
+
+// Small, fast scenario: 14 nodes at good connectivity, 401 data packets
+// between t=20 s and t=100 s.
+ScenarioConfig small_scenario(std::uint64_t seed = 1) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.node_count = 14;
+  c.phy.transmission_range_m = 80.0;
+  c.waypoint.max_speed_mps = 0.5;
+  c.duration = sim::SimTime::seconds(120.0);
+  c.workload.start = sim::SimTime::seconds(20.0);
+  c.workload.end = sim::SimTime::seconds(100.0);
+  c.with_protocol(Protocol::maodv_gossip);
+  return c;
+}
+
+void expect_same_results(const stats::RunResult& a, const stats::RunResult& b) {
+  ASSERT_EQ(a.members.size(), b.members.size());
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    EXPECT_EQ(a.members[i].received, b.members[i].received) << "member " << i;
+    EXPECT_EQ(a.members[i].via_gossip, b.members[i].via_gossip) << "member " << i;
+  }
+  EXPECT_EQ(a.totals.channel_transmissions, b.totals.channel_transmissions);
+  EXPECT_EQ(a.totals.mac_unicast, b.totals.mac_unicast);
+  EXPECT_EQ(a.totals.mac_broadcast, b.totals.mac_broadcast);
+  EXPECT_EQ(a.totals.gossip_walks, b.totals.gossip_walks);
+}
+
+TEST(FaultInjection, ArmedButIdlePlanIsZeroCost) {
+  // A plan whose only event lies beyond the end of the run arms the whole
+  // fault machinery (injector, per-node sinks, subscription tracking) but
+  // never fires: the simulation must be bit-identical to a plain run.
+  const stats::RunResult plain = run_scenario(small_scenario());
+
+  ScenarioConfig faulty = small_scenario();
+  faulty.faults.plan.crash(3, 500.0, 10.0);  // after duration; never fires
+  const stats::RunResult armed = run_scenario(faulty);
+
+  expect_same_results(plain, armed);
+  EXPECT_FALSE(armed.faults.any());
+  // Members are tracked in a fault run, but a full-run subscription makes
+  // every sourced packet eligible — the legacy denominator.
+  for (const stats::MemberResult& m : armed.members) {
+    EXPECT_EQ(armed.eligible_of(m), armed.packets_sent);
+  }
+  EXPECT_DOUBLE_EQ(plain.delivery_ratio(), armed.delivery_ratio());
+}
+
+TEST(FaultInjection, NoFaultRunUsesLegacyAccounting) {
+  const stats::RunResult r = run_scenario(small_scenario());
+  EXPECT_EQ(r.members.size(), small_scenario().member_count() - 1);
+  EXPECT_FALSE(r.faults.any());
+  EXPECT_DOUBLE_EQ(r.faults.node_down_s, 0.0);
+  for (const stats::MemberResult& m : r.members) {
+    EXPECT_EQ(m.eligible, stats::MemberResult::kEligibleAll);
+  }
+}
+
+TEST(FaultInjection, CrashWipeTakesMemberDownAndRebootRecovers) {
+  ScenarioConfig c = small_scenario();
+  // Member 3 dies at t=40 for 30 s with its state wiped.
+  c.faults.plan.crash(3, 40.0, 30.0, faults::RebootPolicy::wipe);
+  const stats::RunResult r = run_scenario(c);
+
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.reboots, 1u);
+  EXPECT_NEAR(r.faults.node_down_s, 30.0, 0.1);
+
+  const stats::MemberResult* m3 = nullptr;
+  for (const stats::MemberResult& m : r.members) {
+    if (m.node == net::NodeId{3}) m3 = &m;
+  }
+  ASSERT_NE(m3, nullptr);
+  // Packets sourced while member 3 was down are not charged against it...
+  EXPECT_LT(m3->eligible, r.packets_sent);
+  EXPECT_GT(m3->eligible, 0u);
+  // ...and it can never be credited more than its eligible window.
+  EXPECT_LE(m3->received, m3->eligible);
+  // Roughly 30 s of a 200 ms CBR stream falls out of the window.
+  EXPECT_NEAR(static_cast<double>(r.packets_sent - m3->eligible), 150.0, 15.0);
+}
+
+TEST(FaultInjection, CrashPreservePolicyAlsoRecovers) {
+  ScenarioConfig c = small_scenario();
+  c.faults.plan.crash(3, 40.0, 30.0, faults::RebootPolicy::preserve);
+  const stats::RunResult r = run_scenario(c);
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_EQ(r.faults.reboots, 1u);
+  const stats::MemberResult* m3 = nullptr;
+  for (const stats::MemberResult& m : r.members) {
+    if (m.node == net::NodeId{3}) m3 = &m;
+  }
+  ASSERT_NE(m3, nullptr);
+  EXPECT_LT(m3->eligible, r.packets_sent);
+  EXPECT_LE(m3->received, m3->eligible);
+}
+
+TEST(FaultInjection, LeaveThenRejoinCountsOnlyInSubscriptionPackets) {
+  ScenarioConfig c = small_scenario();
+  c.faults.plan.leave(2, 40.0).join(2, 70.0);
+  const stats::RunResult r = run_scenario(c);
+
+  EXPECT_EQ(r.faults.leaves, 1u);
+  EXPECT_EQ(r.faults.joins, 1u);
+
+  const stats::MemberResult* m2 = nullptr;
+  for (const stats::MemberResult& m : r.members) {
+    if (m.node == net::NodeId{2}) m2 = &m;
+  }
+  ASSERT_NE(m2, nullptr);
+  // The [40 s, 70 s) gap removes ~150 of the 401 packets from member 2's
+  // denominator, and nothing sourced in the gap may be credited — even if
+  // gossip recovers it after the rejoin.
+  EXPECT_NEAR(static_cast<double>(r.packets_sent - m2->eligible), 150.0, 5.0);
+  EXPECT_LE(m2->received, m2->eligible);
+  // Everyone else answers for the full stream.
+  for (const stats::MemberResult& m : r.members) {
+    if (m.node != net::NodeId{2}) {
+      EXPECT_EQ(m.eligible, r.packets_sent);
+    }
+  }
+}
+
+TEST(FaultInjection, DeterministicAcrossIdenticalRuns) {
+  ScenarioConfig c = small_scenario(3);
+  c.faults.plan.leave(2, 40.0).join(2, 70.0).crash(5, 50.0, 20.0);
+  c.faults.spec.churn_per_min = 1.0;
+  const stats::RunResult a = run_scenario(c);
+  const stats::RunResult b = run_scenario(c);
+  expect_same_results(a, b);
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    EXPECT_EQ(a.members[i].eligible, b.members[i].eligible);
+  }
+  EXPECT_EQ(a.faults.crashes, b.faults.crashes);
+  EXPECT_EQ(a.faults.leaves, b.faults.leaves);
+  EXPECT_EQ(a.faults.joins, b.faults.joins);
+  EXPECT_DOUBLE_EQ(a.faults.node_down_s, b.faults.node_down_s);
+}
+
+TEST(FaultInjection, PartitionSeversAndHealResumesDelivery) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    ScenarioConfig c = small_scenario(seed);
+    c.waypoint.max_speed_mps = 0.2;  // near-static so the cut stays real
+    c.faults.plan.partition_at_x(-1.0, 50.0, 30.0);
+    const stats::RunResult r = run_scenario(c);
+
+    EXPECT_EQ(r.faults.partitions, 1u) << "seed " << seed;
+    EXPECT_EQ(r.faults.heals, 1u) << "seed " << seed;
+    EXPECT_NEAR(r.faults.partitioned_s, 30.0, 0.1) << "seed " << seed;
+
+    // The run still delivers: the source side is never cut off, and after
+    // the heal gossip pulls recover losses on the far side.
+    EXPECT_GT(r.delivery_ratio(), 0.3) << "seed " << seed;
+    std::uint64_t via_gossip = 0;
+    for (const stats::MemberResult& m : r.members) via_gossip += m.via_gossip;
+    EXPECT_GT(via_gossip, 0u) << "seed " << seed;
+  }
+}
+
+TEST(FaultInjection, SynthesizedChurnRunsEndToEnd) {
+  ScenarioConfig c = small_scenario();
+  c.faults.spec.churn_per_min = 4.0;
+  c.faults.spec.churn_downtime_s = 15.0;
+  const stats::RunResult r = run_scenario(c);
+  EXPECT_GT(r.faults.leaves, 0u);
+  EXPECT_GT(r.packets_sent, 0u);
+  for (const stats::MemberResult& m : r.members) {
+    EXPECT_LE(m.received, r.eligible_of(m));
+  }
+}
+
+TEST(FaultInjection, MidRunJoinerGetsAccounted) {
+  ScenarioConfig c = small_scenario();
+  // Node 10 is outside the configured member set; a plan event subscribes
+  // it mid-run.
+  ASSERT_GE(c.node_count, 11u);
+  ASSERT_LT(c.member_count(), 11u);
+  c.faults.plan.join(10, 60.0);
+  const stats::RunResult r = run_scenario(c);
+
+  const stats::MemberResult* joiner = nullptr;
+  for (const stats::MemberResult& m : r.members) {
+    if (m.node == net::NodeId{10}) joiner = &m;
+  }
+  ASSERT_NE(joiner, nullptr);
+  // Accountable only for the tail of the stream it was subscribed for.
+  EXPECT_LT(joiner->eligible, r.packets_sent);
+  EXPECT_LE(joiner->received, joiner->eligible);
+}
+
+// --- gossip-layer churn semantics on a hand-built static topology -------
+
+TEST(FaultInjection, CrashedMemberAgesOutOfPeersMemberCache) {
+  using testutil::kGroup;
+  testutil::StackOptions opt;
+  opt.gossip.member_cache_ttl = sim::Duration::seconds(8.0);
+  testutil::StaticNetwork net{testutil::line_positions(3, 80.0), opt};
+
+  net.join_all({0, 2});
+  // Traffic plus gossip rounds populate the caches.
+  for (int i = 0; i < 20; ++i) {
+    net.sim().schedule_after(sim::Duration::seconds(0.5 * i),
+                             [&net] { net.multicast_router(0).send_multicast(kGroup, 64); });
+  }
+  net.run_for(30.0);
+  const gossip::MemberCache* cache = net.agent(0).member_cache(kGroup);
+  ASSERT_NE(cache, nullptr);
+  ASSERT_TRUE(cache->contains(net::NodeId{2}))
+      << "precondition: node 0 must have learned member 2";
+
+  // Member 2's radio dies; with no fresh traffic evidence its entry must
+  // age out of node 0's cache within the TTL.
+  net.channel().set_node_down(2, true);
+  net.run_for(20.0);
+  EXPECT_FALSE(net.agent(0).member_cache(kGroup)->contains(net::NodeId{2}));
+}
+
+TEST(FaultInjection, LeavingMemberDropsItsGossipState) {
+  using testutil::kGroup;
+  testutil::StaticNetwork net{testutil::line_positions(3, 80.0)};
+  net.join_all({0, 2});
+  for (int i = 0; i < 10; ++i) {
+    net.sim().schedule_after(sim::Duration::seconds(0.5 * i),
+                             [&net] { net.multicast_router(0).send_multicast(kGroup, 64); });
+  }
+  net.run_for(15.0);
+  ASSERT_NE(net.agent(2).history(kGroup), nullptr);
+
+  net.multicast_router(2).leave_group(kGroup);
+  net.run_for(1.0);
+  // The departed member forgot the group: rejoining starts cold instead
+  // of pulling the entire gap it was unsubscribed for.
+  EXPECT_EQ(net.agent(2).history(kGroup), nullptr);
+  EXPECT_EQ(net.agent(2).member_cache(kGroup), nullptr);
+}
+
+}  // namespace
+}  // namespace ag::harness

@@ -1,0 +1,212 @@
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ag::faults {
+namespace {
+
+TEST(FaultPlan, EmptyByDefault) {
+  FaultPlan p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.event_count(), 0u);
+  EXPECT_NO_THROW(p.validate(10));
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.active());
+}
+
+TEST(FaultPlan, FluentBuildersRecordEvents) {
+  FaultPlan p;
+  p.crash(3, 10.0, 20.0, RebootPolicy::preserve)
+      .partition_at_x(100.0, 40.0, 30.0)
+      .leave(1, 5.0)
+      .join(1, 25.0);
+  EXPECT_EQ(p.crashes.size(), 1u);
+  EXPECT_EQ(p.crashes[0].policy, RebootPolicy::preserve);
+  EXPECT_EQ(p.partitions.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.partitions[0].a, 1.0);
+  EXPECT_DOUBLE_EQ(p.partitions[0].c, 100.0);
+  EXPECT_EQ(p.membership.size(), 2u);
+  EXPECT_FALSE(p.membership[0].join);
+  EXPECT_TRUE(p.membership[1].join);
+  EXPECT_NO_THROW(p.validate(10));
+}
+
+TEST(FaultPlan, AutoMedianPartitionHasNoLine) {
+  FaultPlan p;
+  p.partition_at_x(-1.0, 40.0, 30.0);
+  EXPECT_DOUBLE_EQ(p.partitions[0].a, 0.0);
+  EXPECT_DOUBLE_EQ(p.partitions[0].b, 0.0);
+}
+
+TEST(FaultPlanValidate, RejectsOutOfRangeNodes) {
+  FaultPlan crash_bad;
+  crash_bad.crash(10, 1.0, 5.0);
+  EXPECT_THROW(crash_bad.validate(10), std::invalid_argument);
+
+  FaultPlan member_bad;
+  member_bad.leave(12, 1.0);
+  EXPECT_THROW(member_bad.validate(10), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsNegativeTimesAndZeroHeal) {
+  FaultPlan crash_bad;
+  crash_bad.crash(1, -1.0, 5.0);
+  EXPECT_THROW(crash_bad.validate(10), std::invalid_argument);
+
+  FaultPlan heal_bad;
+  heal_bad.partitions.push_back({10.0, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_THROW(heal_bad.validate(10), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingCrashesOnOneNode) {
+  FaultPlan p;
+  p.crash(2, 10.0, 30.0).crash(2, 20.0, 10.0);
+  EXPECT_THROW(p.validate(10), std::invalid_argument);
+
+  // The same intervals on different nodes are fine.
+  FaultPlan ok;
+  ok.crash(2, 10.0, 30.0).crash(3, 20.0, 10.0);
+  EXPECT_NO_THROW(ok.validate(10));
+}
+
+TEST(FaultPlanValidate, PermanentCrashBlocksLaterCrashOfSameNode) {
+  FaultPlan p;
+  p.crash(2, 10.0, 0.0);  // never reboots
+  p.crash(2, 500.0, 10.0);
+  EXPECT_THROW(p.validate(10), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsCrashAtExactRebootInstant) {
+  // The event queue is FIFO at equal timestamps: a crash landing exactly
+  // on the previous reboot could fire first and be silently lost, so
+  // touching intervals are rejected outright.
+  FaultPlan p;
+  p.crash(2, 10.0, 20.0).crash(2, 30.0, 20.0);
+  EXPECT_THROW(p.validate(10), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsPartitionAtExactHealInstant) {
+  FaultPlan p;
+  p.partition_at_x(-1.0, 100.0, 30.0).partition_at_x(-1.0, 10.0, 90.0);
+  EXPECT_THROW(p.validate(10), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingPartitions) {
+  FaultPlan p;
+  p.partition_at_x(-1.0, 10.0, 30.0).partition_at_x(-1.0, 20.0, 5.0);
+  EXPECT_THROW(p.validate(10), std::invalid_argument);
+
+  FaultPlan ok;
+  ok.partition_at_x(-1.0, 10.0, 30.0).partition_at_x(-1.0, 50.0, 5.0);
+  EXPECT_NO_THROW(ok.validate(10));
+}
+
+TEST(FaultSpec, AnyReflectsAxes) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  spec.churn_per_min = 1.0;
+  EXPECT_TRUE(spec.any());
+  spec = FaultSpec{};
+  spec.crash_fraction = 0.2;
+  EXPECT_TRUE(spec.any());
+  spec = FaultSpec{};
+  spec.partition_duration_s = 10.0;
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(Synthesize, DeterministicForSameSeed) {
+  FaultSpec spec;
+  spec.churn_per_min = 2.0;
+  spec.crash_fraction = 0.25;
+  spec.partition_duration_s = 40.0;
+
+  FaultPlan a;
+  synthesize_into(a, spec, 20, 7, 0, 600.0, sim::Rng{42});
+  FaultPlan b;
+  synthesize_into(b, spec, 20, 7, 0, 600.0, sim::Rng{42});
+
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
+    EXPECT_DOUBLE_EQ(a.crashes[i].at_s, b.crashes[i].at_s);
+  }
+  ASSERT_EQ(a.membership.size(), b.membership.size());
+  for (std::size_t i = 0; i < a.membership.size(); ++i) {
+    EXPECT_EQ(a.membership[i].node, b.membership[i].node);
+    EXPECT_DOUBLE_EQ(a.membership[i].at_s, b.membership[i].at_s);
+    EXPECT_EQ(a.membership[i].join, b.membership[i].join);
+  }
+  ASSERT_EQ(a.partitions.size(), 1u);
+  EXPECT_EQ(b.partitions.size(), 1u);
+}
+
+TEST(Synthesize, SparesTheSourceAndStaysInBounds) {
+  FaultSpec spec;
+  spec.churn_per_min = 6.0;
+  spec.crash_fraction = 0.5;
+  constexpr double kDuration = 600.0;
+  FaultPlan plan;
+  synthesize_into(plan, spec, 20, 7, 0, kDuration, sim::Rng{7});
+
+  EXPECT_FALSE(plan.crashes.empty());
+  EXPECT_FALSE(plan.membership.empty());
+  for (const CrashEvent& e : plan.crashes) {
+    EXPECT_NE(e.node, 0u);  // source never crashed
+    EXPECT_GE(e.at_s, 0.0);
+    EXPECT_LT(e.at_s, kDuration);
+  }
+  for (const MembershipEvent& e : plan.membership) {
+    EXPECT_NE(e.node, 0u);  // source never churned
+    EXPECT_LT(e.node, 7u);  // members only
+    EXPECT_GE(e.at_s, 0.0);
+    EXPECT_LT(e.at_s, kDuration);
+  }
+  // Synthesized plans always pass their own validation.
+  EXPECT_NO_THROW(plan.validate(20));
+}
+
+TEST(Synthesize, EveryLeaveBeforeItsRejoin) {
+  FaultSpec spec;
+  spec.churn_per_min = 4.0;
+  spec.churn_downtime_s = 25.0;
+  FaultPlan plan;
+  synthesize_into(plan, spec, 20, 7, 0, 600.0, sim::Rng{11});
+
+  // Events are emitted leave-first per cycle; a member's rejoin follows
+  // its leave by exactly the configured downtime.
+  std::size_t leaves = 0;
+  std::size_t joins = 0;
+  for (std::size_t i = 0; i < plan.membership.size(); ++i) {
+    if (plan.membership[i].join) {
+      ++joins;
+      ASSERT_GT(i, 0u);
+      const MembershipEvent& leave = plan.membership[i - 1];
+      EXPECT_FALSE(leave.join);
+      EXPECT_EQ(leave.node, plan.membership[i].node);
+      EXPECT_DOUBLE_EQ(plan.membership[i].at_s, leave.at_s + spec.churn_downtime_s);
+    } else {
+      ++leaves;
+    }
+  }
+  EXPECT_GT(leaves, 0u);
+  EXPECT_GE(leaves, joins);  // a cycle ending after the run has no rejoin
+}
+
+TEST(Synthesize, RealizedChurnTracksRequestedRate) {
+  // 4 cycles/min over 600 s requests 40 cycles; the redraw-on-busy logic
+  // must land close to that instead of dropping source/busy collisions.
+  FaultSpec spec;
+  spec.churn_per_min = 4.0;
+  spec.churn_downtime_s = 25.0;
+  FaultPlan plan;
+  synthesize_into(plan, spec, 20, 7, 0, 600.0, sim::Rng{5});
+  std::size_t leaves = 0;
+  for (const MembershipEvent& e : plan.membership) leaves += e.join ? 0 : 1;
+  EXPECT_GE(leaves, 34u);
+  EXPECT_LE(leaves, 40u);
+}
+
+}  // namespace
+}  // namespace ag::faults

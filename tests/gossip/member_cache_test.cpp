@@ -81,5 +81,33 @@ TEST(MemberCache, NoteGossipedOnUnknownMemberIsNoop) {
   EXPECT_EQ(c.size(), 0u);
 }
 
+TEST(MemberCache, ExpireDropsEntriesWithoutRecentEvidence) {
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 2, kT1);
+  c.observe(net::NodeId{2}, 2, kT2);
+  EXPECT_EQ(c.expire_older_than(kT2), 1u);  // node 1 last seen at kT1
+  EXPECT_FALSE(c.contains(net::NodeId{1}));
+  EXPECT_TRUE(c.contains(net::NodeId{2}));
+}
+
+TEST(MemberCache, ReobservingRefreshesExpiryClock) {
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 2, kT1);
+  c.observe(net::NodeId{1}, 0, kT2);  // fresh evidence, distance unknown
+  EXPECT_EQ(c.expire_older_than(kT2), 0u);
+  EXPECT_TRUE(c.contains(net::NodeId{1}));
+}
+
+TEST(MemberCache, GossipingIsNotLivenessEvidence) {
+  // note_gossiped stamps last_gossip (the eviction heuristic), not
+  // last_seen: initiating gossip toward a member says nothing about the
+  // member being alive.
+  MemberCache c{3};
+  c.observe(net::NodeId{1}, 2, kT1);
+  c.note_gossiped(net::NodeId{1}, kT2);
+  EXPECT_EQ(c.expire_older_than(kT2), 1u);
+  EXPECT_FALSE(c.contains(net::NodeId{1}));
+}
+
 }  // namespace
 }  // namespace ag::gossip

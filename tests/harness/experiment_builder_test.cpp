@@ -98,6 +98,13 @@ TEST(ExperimentBuilder, UnknownSweepParameterThrowsImmediately) {
   EXPECT_THROW(Experiment::sweep("warp_factor", {9.0}), std::invalid_argument);
 }
 
+TEST(ExperimentBuilder, FaultAxesAreNamedKnobs) {
+  // The churn bench sweeps these; a rename there must fail here.
+  EXPECT_NO_THROW(Experiment::sweep("churn_per_min", {0.0, 1.0}));
+  EXPECT_NO_THROW(Experiment::sweep("crash_fraction", {0.1}));
+  EXPECT_NO_THROW(Experiment::sweep("partition_s", {30.0}));
+}
+
 TEST(ExperimentBuilder, CustomApplySweepsArbitraryKnobs) {
   ExperimentResult r =
       Experiment::sweep("pause_s", {0.0, 10.0},

@@ -47,6 +47,26 @@ TEST(Scenario, MemberCountNeverBelowTwo) {
   EXPECT_EQ(c.member_count(), 2u);
 }
 
+TEST(Scenario, MemberFractionOutsideUnitIntervalThrows) {
+  ScenarioConfig c;
+  c.member_fraction = 0.0;
+  EXPECT_THROW((void)c.member_count(), std::invalid_argument);
+  c.member_fraction = -0.5;
+  EXPECT_THROW((void)c.member_count(), std::invalid_argument);
+  c.member_fraction = 1.5;
+  EXPECT_THROW((void)c.member_count(), std::invalid_argument);
+  c.member_fraction = 1.0;  // inclusive upper bound is fine
+  EXPECT_EQ(c.member_count(), c.node_count);
+}
+
+TEST(Scenario, MemberCountExceedingNodesThrows) {
+  // The two-member floor cannot be met on a one-node network; this used
+  // to clamp silently into an impossible configuration.
+  ScenarioConfig c;
+  c.node_count = 1;
+  EXPECT_THROW((void)c.member_count(), std::invalid_argument);
+}
+
 TEST(Experiment, RunPointAggregatesSeeds) {
   ScenarioConfig c;
   c.node_count = 12;

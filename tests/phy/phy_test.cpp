@@ -174,5 +174,57 @@ TEST(Channel, CountsTransmissions) {
   EXPECT_EQ(f.channel_.transmissions(), 2u);
 }
 
+TEST(Channel, DownedNodeNeitherSendsNorReceives) {
+  PhyFixture f{{{0, 0}, {50, 0}, {90, 0}}};
+  f.channel_.set_node_down(1, true);
+
+  // A downed sender radiates nothing (and the attempt is not counted).
+  f.radios_[1]->transmit(test_frame(1));
+  f.sim_.run_all();
+  EXPECT_EQ(f.channel_.transmissions(), 0u);
+  EXPECT_TRUE(f.listeners_[0]->frames.empty());
+
+  // A downed receiver hears nothing; everyone else still does.
+  f.radios_[0]->transmit(test_frame(0));
+  f.sim_.run_all();
+  EXPECT_TRUE(f.listeners_[1]->frames.empty());
+  EXPECT_EQ(f.listeners_[2]->frames.size(), 1u);
+
+  // Back up: traffic flows again.
+  f.channel_.set_node_down(1, false);
+  f.radios_[0]->transmit(test_frame(0));
+  f.sim_.run_all();
+  EXPECT_EQ(f.listeners_[1]->frames.size(), 1u);
+}
+
+TEST(Channel, GoingDownDestroysReceptionInProgress) {
+  PhyFixture f{{{0, 0}, {50, 0}}};
+  f.radios_[0]->transmit(test_frame(0));
+  // Let the first bit arrive, then crash the receiver mid-frame.
+  f.sim_.run_until(f.sim_.now() + sim::Duration::us(100));
+  f.channel_.set_node_down(1, true);
+  f.sim_.run_all();
+  EXPECT_TRUE(f.listeners_[1]->frames.empty());
+  // Not a collision: nothing interfered with the frame.
+  EXPECT_EQ(f.radios_[1]->counters().frames_corrupted, 0u);
+}
+
+TEST(Channel, PartitionBlocksOnlyCrossSideFrames) {
+  PhyFixture f{{{0, 0}, {50, 0}, {90, 0}}};
+  // Nodes 0 and 1 on one side, node 2 on the other.
+  f.channel_.set_partition({0, 0, 1});
+  ASSERT_TRUE(f.channel_.partition_active());
+
+  f.radios_[0]->transmit(test_frame(0));
+  f.sim_.run_all();
+  EXPECT_EQ(f.listeners_[1]->frames.size(), 1u);  // same side
+  EXPECT_TRUE(f.listeners_[2]->frames.empty());   // across the cut
+
+  f.channel_.clear_partition();
+  f.radios_[0]->transmit(test_frame(0));
+  f.sim_.run_all();
+  EXPECT_EQ(f.listeners_[2]->frames.size(), 1u);  // healed
+}
+
 }  // namespace
 }  // namespace ag::phy
