@@ -1,45 +1,177 @@
-// Scaling smoke: exercises the parallel ExperimentBuilder on topologies
-// up to 3x the paper's 40 nodes (ROADMAP open item). The run is kept
-// short — this is a build-health and throughput check for larger
-// networks, not a paper figure; fig6/fig7 remain the measured node-count
-// sweeps. Range scales as 75*sqrt(40/n) to hold mean degree roughly
-// constant while the area stays 200x200 m.
+// Scaling smoke: pushes the simulator well past the paper's 40 nodes
+// (ROADMAP: 500+ nodes need the phy spatial index — transmit() used to be
+// O(n) per frame). Each node count is timed individually, so the bench
+// reports wall-clock and simulator-event throughput per point alongside
+// the delivery stats; everything lands in BENCH_scale.json so CI can
+// accumulate a perf trajectory. Runs are kept short — this is a
+// build-health and throughput check for large networks, not a paper
+// figure; fig6/fig7 remain the measured node-count sweeps. Range scales
+// as 75*sqrt(40/n) to hold mean degree roughly constant while the area
+// stays 200x200 m, and the group stays at the paper's 13 members (1/3 of
+// 40) so the bench measures simulator scale, not protocol collapse under
+// ever-larger groups.
 //
-// Usage: scale_smoke [--protocols=name,name]
+// Usage: scale_smoke [--protocols=name,name] [--nodes=n,n,...]
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "figure_common.h"
+#include "phy/channel.h"
+
+namespace {
+
+// Parses a `--nodes=250,500` flag anywhere in argv; returns `fallback`
+// when absent. Bad values fail fast with exit(2) like --protocols=.
+std::vector<std::size_t> nodes_from_cli(int argc, char** argv,
+                                        std::vector<std::size_t> fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--nodes=", 8) != 0) continue;
+    std::vector<std::size_t> out;
+    const char* p = arg + 8;
+    while (*p != '\0') {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(p, &end, 10);
+      if (errno != 0 || end == p || v < 2 || v > 1'000'000 ||
+          (*end != '\0' && *end != ',')) {
+        std::fprintf(stderr,
+                     "%s: --nodes= wants a comma list of counts in [2, 1000000]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      out.push_back(static_cast<std::size_t>(v));
+      p = *end == ',' ? end + 1 : end;
+    }
+    if (out.empty()) {
+      std::fprintf(stderr, "%s: --nodes= needs at least one count\n", argv[0]);
+      std::exit(2);
+    }
+    return out;
+  }
+  return fallback;
+}
+
+struct PointReport {
+  std::size_t nodes;
+  double wall_s;
+  std::uint64_t sim_events;
+  ag::harness::ExperimentResult result;  // one sweep value, one point per series
+};
+
+std::uint64_t total_sim_events(const ag::harness::ExperimentResult& result) {
+  std::uint64_t events = 0;
+  for (const ag::harness::FigureSeries& s : result.series) {
+    for (const ag::harness::SeriesPoint& p : s.points) {
+      for (const ag::stats::RunResult& r : p.runs) events += r.totals.sim_events;
+    }
+  }
+  return events;
+}
+
+bool write_scale_json(const std::string& path, const std::vector<PointReport>& reports,
+                      std::uint32_t seeds, bool index_on) {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"experiment\": \"scale_smoke\",\n";
+  out << "  \"param\": \"node_count\",\n";
+  out << "  \"seeds\": " << seeds << ",\n";
+  out << "  \"spatial_index\": " << (index_on ? "true" : "false") << ",\n";
+  out << "  \"points\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const PointReport& rep = reports[i];
+    const double events_per_sec =
+        rep.wall_s > 0.0 ? static_cast<double>(rep.sim_events) / rep.wall_s : 0.0;
+    out << "    {\"nodes\": " << rep.nodes << ", \"wall_clock_s\": " << rep.wall_s
+        << ", \"sim_events\": " << rep.sim_events
+        << ", \"events_per_sec\": " << events_per_sec << ", \"series\": [\n";
+    for (std::size_t s = 0; s < rep.result.series.size(); ++s) {
+      const ag::harness::FigureSeries& series = rep.result.series[s];
+      const ag::harness::SeriesPoint& p = series.points.front();
+      out << "      {\"name\": \"" << series.name << "\""
+          << ", \"received_mean\": " << p.received.mean
+          << ", \"delivery_ratio\": " << p.mean_delivery_ratio
+          << ", \"transmissions\": " << p.mean_transmissions
+          << ", \"deliveries\": " << p.mean_deliveries
+          << ", \"suppressed_down\": " << p.mean_suppressed_down
+          << ", \"suppressed_partition\": " << p.mean_suppressed_partition << "}"
+          << (s + 1 < rep.result.series.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ag;
   const std::uint32_t seeds = harness::seeds_from_env(1);
+  const std::vector<harness::Protocol> protocols =
+      bench::protocols_from_cli(argc, argv, bench::headline_protocols());
+  const std::vector<std::size_t> node_counts =
+      nodes_from_cli(argc, argv, {40, 120, 250, 500, 1000});
 
   harness::ScenarioConfig base = bench::paper_base();
   base.duration = sim::SimTime::seconds(80.0);
   base.workload.start = sim::SimTime::seconds(20.0);
   base.workload.end = sim::SimTime::seconds(60.0);
+  const bool index_on = base.phy.use_spatial_index && !phy::spatial_index_env_off();
 
-  harness::ExperimentResult result =
-      harness::Experiment::sweep("node_count", {40, 80, 120},
-                                 [](harness::ScenarioConfig& c, double x) {
-                                   const double n = x;
-                                   c.with_nodes(static_cast<std::size_t>(n))
-                                       .with_range(75.0 * std::sqrt(40.0 / n))
-                                       .with_max_speed(1.0);
-                                 })
-          .base(base)
-          .protocols(bench::protocols_from_cli(argc, argv, bench::headline_protocols()))
-          .seeds(seeds)
-          .parallel()
-          .name("scale_smoke")
-          .run();
+  std::printf("== Scaling smoke (constant mean degree, short run; spatial index %s) ==\n",
+              index_on ? "on" : "OFF");
+  std::printf("%-8s %-10s %-12s %-12s per-protocol received avg (delivery)\n",
+              "#nodes", "wall(s)", "sim events", "events/s");
 
-  result.print("Scaling smoke (constant mean degree, short run)", "#nodes");
-  if (!result.write_json("BENCH_scale_smoke.json")) {
-    std::fprintf(stderr, "error: failed to write BENCH_scale_smoke.json\n");
+  std::vector<PointReport> reports;
+  for (const std::size_t n : node_counts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    harness::ExperimentResult result =
+        harness::Experiment::sweep("node_count", {static_cast<double>(n)},
+                                   [](harness::ScenarioConfig& c, double x) {
+                                     c.with_nodes(static_cast<std::size_t>(x))
+                                         .with_range(75.0 * std::sqrt(40.0 / x))
+                                         .with_max_speed(1.0);
+                                     c.member_fraction = std::min(1.0, 13.0 / x);
+                                   })
+            .base(base)
+            .protocols(protocols)
+            .seeds(seeds)
+            .parallel()
+            .name("scale_smoke")
+            .run();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const std::uint64_t events = total_sim_events(result);
+
+    std::printf("%-8zu %-10.2f %-12llu %-12.3g",
+                n, wall_s, static_cast<unsigned long long>(events),
+                wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0);
+    for (const harness::FigureSeries& s : result.series) {
+      const harness::SeriesPoint& p = s.points.front();
+      std::printf("  %s=%.1f (%.2f)", s.name.c_str(), p.received.mean,
+                  p.mean_delivery_ratio);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    reports.push_back({n, wall_s, events, std::move(result)});
+  }
+
+  if (!write_scale_json("BENCH_scale.json", reports, seeds, index_on)) {
+    std::fprintf(stderr, "error: failed to write BENCH_scale.json\n");
     return 1;
   }
-  std::printf("(json written to BENCH_scale_smoke.json; %u seeds)\n", seeds);
+  std::printf("(json written to BENCH_scale.json; %u seeds; wall-clock covers "
+              "all parallel jobs of a point)\n", seeds);
   return 0;
 }

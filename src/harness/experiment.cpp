@@ -13,11 +13,17 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
   double goodput_sum = 0.0;
   double ratio_sum = 0.0;
   std::uint64_t tx_sum = 0;
+  std::uint64_t deliveries_sum = 0;
+  std::uint64_t down_sum = 0;
+  std::uint64_t partition_sum = 0;
   for (stats::RunResult& r : runs) {
     for (double v : r.received_per_member()) all_received.push_back(v);
     goodput_sum += r.mean_goodput_pct();
     ratio_sum += r.delivery_ratio();
     tx_sum += r.totals.channel_transmissions;
+    deliveries_sum += r.totals.phy_deliveries;
+    down_sum += r.totals.phy_suppressed_down;
+    partition_sum += r.totals.phy_suppressed_partition;
     point.runs.push_back(std::move(r));
   }
   point.received = stats::summarize(all_received);
@@ -26,6 +32,9 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     point.mean_goodput_pct = goodput_sum / static_cast<double>(seeds);
     point.mean_delivery_ratio = ratio_sum / static_cast<double>(seeds);
     point.mean_transmissions = tx_sum / seeds;
+    point.mean_deliveries = deliveries_sum / seeds;
+    point.mean_suppressed_down = down_sum / seeds;
+    point.mean_suppressed_partition = partition_sum / seeds;
   }
   return point;
 }

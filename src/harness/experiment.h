@@ -21,6 +21,10 @@ struct SeriesPoint {
   double mean_goodput_pct{100.0};
   double mean_delivery_ratio{0.0};
   std::uint64_t mean_transmissions{0};  // network-wide MAC transmissions
+  // Phy work done (channel receiver decisions), averaged across seeds.
+  std::uint64_t mean_deliveries{0};
+  std::uint64_t mean_suppressed_down{0};
+  std::uint64_t mean_suppressed_partition{0};
   std::vector<stats::RunResult> runs;   // raw results (one per seed)
 };
 

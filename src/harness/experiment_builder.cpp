@@ -214,7 +214,10 @@ bool ExperimentResult::write_json(const std::string& path) const {
           << ", \"receivers\": " << p.received.n
           << ", \"delivery_ratio\": " << p.mean_delivery_ratio
           << ", \"goodput_pct\": " << p.mean_goodput_pct
-          << ", \"transmissions\": " << p.mean_transmissions << "}"
+          << ", \"transmissions\": " << p.mean_transmissions
+          << ", \"deliveries\": " << p.mean_deliveries
+          << ", \"suppressed_down\": " << p.mean_suppressed_down
+          << ", \"suppressed_partition\": " << p.mean_suppressed_partition << "}"
           << (i + 1 < series[s].points.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (s + 1 < series.size() ? "," : "") << "\n";

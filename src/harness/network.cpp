@@ -197,6 +197,10 @@ stats::RunResult Network::result() const {
 
   stats::NetworkTotals& t = r.totals;
   t.channel_transmissions = channel_->transmissions();
+  t.phy_deliveries = channel_->deliveries();
+  t.phy_suppressed_down = channel_->suppressed_down();
+  t.phy_suppressed_partition = channel_->suppressed_partition();
+  t.sim_events = sim_.executed_events();
   for (const auto& s : stacks_) {
     t.mac_unicast += s->mac->counters().unicast_sent;
     t.mac_broadcast += s->mac->counters().broadcast_sent;

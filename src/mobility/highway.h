@@ -26,6 +26,16 @@ class HighwayMobility final : public MobilityModel {
 
   [[nodiscard]] std::size_t node_count() const override { return cars_.size(); }
   [[nodiscard]] Vec2 position_of(std::size_t node, sim::SimTime at) const override;
+  [[nodiscard]] Bounds bounds() const override {
+    const double lanes_y =
+        config_.lanes > 0 ? static_cast<double>(config_.lanes - 1) * config_.lane_spacing_m
+                          : 0.0;
+    return {{0.0, 0.0}, {config_.length_m, lanes_y}};
+  }
+  [[nodiscard]] double max_speed_mps() const override { return config_.max_speed_mps; }
+  // Cars wrap from one end of the stretch to the other; the speed bound
+  // holds in the circular x metric.
+  [[nodiscard]] bool wraps_x() const override { return true; }
 
  private:
   struct Car {

@@ -2,15 +2,37 @@
 // in a run and answers position queries at the current simulation time.
 // Models are closed-form between waypoints, so no per-tick events are
 // needed; waypoint changes are scheduled on the simulator.
+//
+// Beyond positions, a model publishes the contract consumers such as the
+// phy spatial index need to cache positions safely:
+//  - bounds(): an axis-aligned box containing every trajectory,
+//  - max_speed_mps(): a conservative bound on instantaneous node speed, so
+//    |position_of(i, t) - position_of(i, t0)| <= max_speed_mps * (t - t0)
+//    for closed-form motion (wrap-around excepted, see wraps_x()),
+//  - wraps_x(): whether trajectories jump between the x extremes of the
+//    bounds (toroidal motion, e.g. highway wrap-around),
+//  - position_generation(): bumped on any discontinuous position change
+//    outside the model's own motion law (e.g. StaticMobility::move_to), so
+//    cached positions can be invalidated.
 #ifndef AG_MOBILITY_MOBILITY_MODEL_H
 #define AG_MOBILITY_MOBILITY_MODEL_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "mobility/vec2.h"
 #include "sim/time.h"
 
 namespace ag::mobility {
+
+// Axis-aligned bounding box of all trajectories.
+struct Bounds {
+  Vec2 min;
+  Vec2 max;
+
+  [[nodiscard]] constexpr double width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const { return max.y - min.y; }
+};
 
 class MobilityModel {
  public:
@@ -18,6 +40,31 @@ class MobilityModel {
 
   [[nodiscard]] virtual std::size_t node_count() const = 0;
   [[nodiscard]] virtual Vec2 position_of(std::size_t node, sim::SimTime at) const = 0;
+
+  // Axis-aligned box every trajectory stays inside. Positions outside the
+  // box (a test teleporting a node far away) are legal; consumers must
+  // degrade gracefully, not misbehave.
+  [[nodiscard]] virtual Bounds bounds() const = 0;
+
+  // Conservative upper bound on instantaneous node speed in m/s. Zero
+  // means positions never change except through position_generation()
+  // bumps.
+  [[nodiscard]] virtual double max_speed_mps() const = 0;
+
+  // True when trajectories wrap between bounds().min.x and bounds().max.x
+  // (the speed bound then holds in the circular x metric, not the plane).
+  [[nodiscard]] virtual bool wraps_x() const { return false; }
+
+  // Monotone counter, bumped whenever positions change discontinuously
+  // outside the motion law (e.g. StaticMobility::move_to). Consumers
+  // caching positions revalidate against it.
+  [[nodiscard]] std::uint64_t position_generation() const { return generation_; }
+
+ protected:
+  void bump_position_generation() { ++generation_; }
+
+ private:
+  std::uint64_t generation_{0};
 };
 
 }  // namespace ag::mobility

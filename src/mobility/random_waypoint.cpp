@@ -4,14 +4,6 @@
 #include <cassert>
 
 namespace ag::mobility {
-namespace {
-
-// A uniform speed draw with min_speed = 0 (the paper's setting) can come out
-// arbitrarily close to zero, making a leg effectively infinite. Clamping at
-// 1 mm/s keeps legs finite without visibly changing the mobility pattern.
-constexpr double kMinEffectiveSpeed = 1e-3;
-
-}  // namespace
 
 RandomWaypoint::RandomWaypoint(sim::Simulator& sim, std::size_t node_count,
                                const RandomWaypointConfig& config, sim::Rng rng)
@@ -39,7 +31,7 @@ void RandomWaypoint::start_next_leg(std::size_t node) {
   const Vec2 from = leg.to;  // rest position at end of previous leg
   const Vec2 to = random_point();
   const double speed = std::max(
-      kMinEffectiveSpeed, rng_.uniform(config_.min_speed_mps, config_.max_speed_mps));
+      kMinEffectiveSpeedMps, rng_.uniform(config_.min_speed_mps, config_.max_speed_mps));
   const double travel_s = distance(from, to) / speed;
   const double pause_s = rng_.uniform(0.0, config_.max_pause_s);
 
@@ -50,6 +42,12 @@ void RandomWaypoint::start_next_leg(std::size_t node) {
 
   sim_.schedule_at(leg.arrive + sim::Duration::seconds(pause_s),
                    [this, node] { start_next_leg(node); });
+}
+
+double RandomWaypoint::max_speed_mps() const {
+  // The clamp in start_next_leg can push an actual speed above the
+  // configured maximum when max_speed_mps is below the clamp floor.
+  return std::max(config_.max_speed_mps, kMinEffectiveSpeedMps);
 }
 
 Vec2 RandomWaypoint::position_of(std::size_t node, sim::SimTime at) const {

@@ -14,6 +14,12 @@
 
 namespace ag::mobility {
 
+// A uniform speed draw with min_speed = 0 (the paper's setting) can come
+// out arbitrarily close to zero, making a leg effectively infinite.
+// Clamping at 1 mm/s keeps legs finite without visibly changing the
+// mobility pattern. Also the floor of max_speed_mps() below.
+inline constexpr double kMinEffectiveSpeedMps = 1e-3;
+
 struct RandomWaypointConfig {
   double area_width_m{200.0};
   double area_height_m{200.0};
@@ -30,6 +36,10 @@ class RandomWaypoint final : public MobilityModel {
 
   [[nodiscard]] std::size_t node_count() const override { return legs_.size(); }
   [[nodiscard]] Vec2 position_of(std::size_t node, sim::SimTime at) const override;
+  [[nodiscard]] Bounds bounds() const override {
+    return {{0.0, 0.0}, {config_.area_width_m, config_.area_height_m}};
+  }
+  [[nodiscard]] double max_speed_mps() const override;
 
  private:
   // One travel leg: linear motion from `from` (at depart) to `to`

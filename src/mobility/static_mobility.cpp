@@ -1,6 +1,21 @@
 #include "mobility/static_mobility.h"
 
+#include <algorithm>
+
 namespace ag::mobility {
+
+Bounds StaticMobility::bounds() const {
+  Bounds b{};
+  if (positions_.empty()) return b;
+  b.min = b.max = positions_.front();
+  for (const Vec2& p : positions_) {
+    b.min.x = std::min(b.min.x, p.x);
+    b.min.y = std::min(b.min.y, p.y);
+    b.max.x = std::max(b.max.x, p.x);
+    b.max.y = std::max(b.max.y, p.y);
+  }
+  return b;
+}
 
 StaticMobility StaticMobility::line(std::size_t n, double spacing_m) {
   std::vector<Vec2> positions;

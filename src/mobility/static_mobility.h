@@ -19,8 +19,16 @@ class StaticMobility final : public MobilityModel {
   [[nodiscard]] Vec2 position_of(std::size_t node, sim::SimTime) const override {
     return positions_[node];
   }
+  // Tight box around the current positions.
+  [[nodiscard]] Bounds bounds() const override;
+  [[nodiscard]] double max_speed_mps() const override { return 0.0; }
 
-  void move_to(std::size_t node, Vec2 p) { positions_[node] = p; }
+  // Teleports are discontinuous: bump the generation so position caches
+  // (the phy spatial index) rebuild before their next query.
+  void move_to(std::size_t node, Vec2 p) {
+    positions_[node] = p;
+    bump_position_generation();
+  }
 
   // Convenience builders for common test topologies.
   static StaticMobility line(std::size_t n, double spacing_m);

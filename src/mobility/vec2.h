@@ -16,9 +16,14 @@ struct Vec2 {
   constexpr bool operator==(const Vec2&) const = default;
 
   [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
 };
 
 [[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+// Squared distance for range comparisons: d <= r on non-negative values is
+// equivalent to d^2 <= r^2, so hot paths can skip the sqrt entirely.
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
 
 }  // namespace ag::mobility
 

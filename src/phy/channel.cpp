@@ -1,15 +1,28 @@
 #include "phy/channel.h"
 
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "mobility/vec2.h"
 #include "phy/radio.h"
 
 namespace ag::phy {
 
+bool spatial_index_env_off() {
+  const char* v = std::getenv("AG_SPATIAL_INDEX");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
 Channel::Channel(sim::Simulator& sim, const mobility::MobilityModel& mobility,
                  PhyParams params)
-    : sim_{sim}, mobility_{mobility}, params_{params} {}
+    : sim_{sim},
+      mobility_{mobility},
+      params_{params},
+      use_index_{params.use_spatial_index && !spatial_index_env_off()} {}
 
 void Channel::attach(Radio* radio) {
   assert(radio != nullptr);
@@ -47,18 +60,73 @@ void Channel::transmit(std::size_t sender, const mac::Frame& frame) {
   const sim::SimTime now = sim_.now();
   const sim::Duration airtime = airtime_of(frame);
   const mobility::Vec2 from = mobility_.position_of(sender, now);
-  for (std::size_t i = 0; i < radios_.size(); ++i) {
-    if (i == sender) continue;
-    if (!down_.empty() && down_[i] != 0) continue;
-    if (!partition_.empty() && partition_[i] != partition_[sender]) continue;
-    const double d = mobility::distance(from, mobility_.position_of(i, now));
-    if (d > params_.transmission_range_m) continue;
-    if (drop_hook_ && drop_hook_(sender, i)) continue;
-    const auto prop = sim::Duration::us(
-        static_cast<std::int64_t>(d / params_.propagation_mps * 1e6) + 1);
-    sim_.schedule_after(prop, [this, i, frame, end = now + prop + airtime] {
-      if (is_node_down(i)) return;  // crashed between send and first bit
-      radios_[i]->begin_reception(frame, end);
+  const double range_sq =
+      params_.transmission_range_m * params_.transmission_range_m;
+
+  pending_.clear();
+  auto consider = [&](std::size_t i) {
+    if (i == sender) return;
+    const double d_sq = mobility::distance_sq(from, mobility_.position_of(i, now));
+    if (d_sq > range_sq) return;
+    if (!down_.empty() && down_[i] != 0) {
+      ++suppressed_down_;
+      return;
+    }
+    if (!partition_.empty() && partition_[i] != partition_[sender]) {
+      ++suppressed_partition_;
+      return;
+    }
+    if (drop_hook_ && drop_hook_(sender, i)) return;
+    const double d = std::sqrt(d_sq);  // true distance: propagation delay
+    const auto prop_us =
+        static_cast<std::int64_t>(d / params_.propagation_mps * 1e6) + 1;
+    ++deliveries_;
+    pending_.emplace_back(prop_us, static_cast<std::uint32_t>(i));
+  };
+
+  if (use_index_) {
+    // (Re)build on first use or when radios were attached since — the
+    // index covers exactly the receivers the scan would visit.
+    if (index_ == nullptr || index_->node_count() != radios_.size()) {
+      index_ = std::make_unique<SpatialIndex>(mobility_, radios_.size(),
+                                              params_.transmission_range_m);
+    }
+    index_->refresh_if_stale(now);
+    candidates_.clear();
+    index_->collect_candidates(from, candidates_);
+    for (const std::uint32_t i : candidates_) consider(i);
+  } else {
+    for (std::size_t i = 0; i < radios_.size(); ++i) consider(i);
+  }
+  if (pending_.empty()) return;
+
+  // One immutable frame shared by every receiver (zero-copy delivery),
+  // and one scheduled event per distinct propagation delay, delivering to
+  // its receivers in ascending node order. Delivery times and ordering
+  // are identical to scheduling one event per receiver (equal-time events
+  // fire FIFO, and per-receiver events were scheduled in ascending node
+  // order); at unit-disk ranges the quantized delay is the same for every
+  // receiver, so this is almost always a single event per transmission.
+  const auto shared = std::make_shared<const mac::Frame>(frame);
+  constexpr std::int64_t kScheduled = -1;  // real delays are always >= 1 us
+  std::size_t remaining = pending_.size();
+  while (remaining > 0) {
+    std::int64_t prop_us = kScheduled;  // first unscheduled delay this pass
+    std::vector<std::uint32_t> rx;
+    for (auto& [p, i] : pending_) {
+      if (p == kScheduled || (prop_us != kScheduled && p != prop_us)) continue;
+      prop_us = p;
+      rx.push_back(i);
+      p = kScheduled;
+      --remaining;
+    }
+    const auto prop = sim::Duration::us(prop_us);
+    const sim::SimTime end = now + prop + airtime;
+    sim_.schedule_after(prop, [this, shared, end, rx = std::move(rx)] {
+      for (const std::uint32_t i : rx) {
+        if (is_node_down(i)) continue;  // crashed between send and first bit
+        radios_[i]->begin_reception(shared, end);
+      }
     });
   }
 }

@@ -1,21 +1,34 @@
 // Broadcast wireless medium with unit-disk propagation: every radio within
 // transmission_range_m of the sender (positions taken at transmit start)
 // receives the frame after the propagation delay.
+//
+// Receiver lookup goes through a grid spatial index (phy/spatial_index.h)
+// keyed off mobility positions — O(degree) per transmit instead of the
+// brute-force O(n) scan — and the frame is scheduled as one shared
+// immutable copy across all receivers. PhyParams::use_spatial_index (or
+// the AG_SPATIAL_INDEX=off environment variable) restores the brute-force
+// scan; both paths make bit-identical delivery decisions.
 #ifndef AG_PHY_CHANNEL_H
 #define AG_PHY_CHANNEL_H
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mac/frame.h"
 #include "mobility/mobility_model.h"
 #include "phy/phy_params.h"
+#include "phy/spatial_index.h"
 #include "sim/simulator.h"
 
 namespace ag::phy {
 
 class Radio;
+
+// True when AG_SPATIAL_INDEX=off|0|false is set in the environment — the
+// process-wide escape hatch disabling the spatial index (see README).
+[[nodiscard]] bool spatial_index_env_off();
 
 class Channel {
  public:
@@ -51,7 +64,24 @@ class Channel {
   [[nodiscard]] bool partition_active() const { return !partition_.empty(); }
 
   [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  // --- phy-level work counters (what transmit() decided per receiver) ---
+  // Receptions scheduled (one per in-range, un-suppressed receiver).
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  // In-range receivers skipped because the receiver was down...
+  [[nodiscard]] std::uint64_t suppressed_down() const { return suppressed_down_; }
+  // ...or on the other side of an active partition. Counting only
+  // in-range receivers keeps all three counters identical whether the
+  // spatial index or the brute-force scan found the receiver.
+  [[nodiscard]] std::uint64_t suppressed_partition() const { return suppressed_partition_; }
+
   [[nodiscard]] double distance_between(std::size_t a, std::size_t b) const;
+
+  // True when receiver lookup goes through the spatial index (params flag
+  // and the AG_SPATIAL_INDEX environment override, resolved at
+  // construction).
+  [[nodiscard]] bool spatial_index_enabled() const { return use_index_; }
+  // The live index, or nullptr before the first transmit / when disabled.
+  [[nodiscard]] const SpatialIndex* spatial_index() const { return index_.get(); }
 
  private:
   sim::Simulator& sim_;
@@ -62,6 +92,19 @@ class Channel {
   std::vector<std::uint8_t> down_;       // empty until a fault downs a node
   std::vector<std::uint8_t> partition_;  // empty while no cut is active
   std::uint64_t transmissions_{0};
+  std::uint64_t deliveries_{0};
+  std::uint64_t suppressed_down_{0};
+  std::uint64_t suppressed_partition_{0};
+  bool use_index_;
+  std::unique_ptr<SpatialIndex> index_;   // built lazily at first transmit
+  std::vector<std::uint32_t> candidates_; // reused per transmit; no per-call alloc
+  // Receivers of the in-flight transmit with their propagation delay (us),
+  // in ascending node order. Receivers sharing a delay are delivered by
+  // one batched event: at unit-disk ranges the +1 us quantization makes
+  // the delay identical for every receiver, so a transmission schedules
+  // one event instead of one per receiver — with execution order
+  // identical to per-receiver events (FIFO ties, ascending node order).
+  std::vector<std::pair<std::int64_t, std::uint32_t>> pending_;
 };
 
 }  // namespace ag::phy

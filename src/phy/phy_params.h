@@ -11,6 +11,12 @@ struct PhyParams {
   // PLCP preamble + header at 1 Mbps, 802.11 DSSS long preamble.
   double phy_overhead_us{192.0};
   double propagation_mps{3e8};
+  // Receiver lookup via the grid spatial index (see phy/spatial_index.h).
+  // Off falls back to the brute-force O(n) scan — delivery decisions are
+  // bit-identical either way; the flag exists so the equivalence is
+  // testable forever. The AG_SPATIAL_INDEX=off environment escape hatch
+  // overrides this at Channel construction.
+  bool use_spatial_index{true};
 };
 
 }  // namespace ag::phy

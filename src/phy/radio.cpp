@@ -38,9 +38,9 @@ void Radio::transmit(const mac::Frame& frame) {
   after_state_change(was_busy);
 }
 
-void Radio::begin_reception(const mac::Frame& frame, sim::SimTime end) {
+void Radio::begin_reception(std::shared_ptr<const mac::Frame> frame, sim::SimTime end) {
   const bool was_busy = medium_busy();
-  ActiveRx rx{frame, end, /*corrupt=*/false};
+  ActiveRx rx{std::move(frame), end, /*corrupt=*/false};
   if (transmitting_) {
     rx.corrupt = true;
     ++counters_.frames_missed_while_tx;
@@ -70,12 +70,12 @@ void Radio::finish_reception() {
                          [&](const ActiveRx& rx) { return rx.end <= sim_.now(); });
   assert(it != active_rx_.end());
   const bool deliver = !it->corrupt;
-  mac::Frame frame = std::move(it->frame);
+  const std::shared_ptr<const mac::Frame> frame = std::move(it->frame);
   active_rx_.erase(it);
   after_state_change(/*was_busy=*/true);
   if (deliver) {
     ++counters_.frames_received;
-    if (listener_ != nullptr) listener_->on_frame_received(frame);
+    if (listener_ != nullptr) listener_->on_frame_received(*frame);
   }
 }
 

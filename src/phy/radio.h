@@ -6,6 +6,7 @@
 #define AG_PHY_RADIO_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mac/frame.h"
@@ -46,8 +47,10 @@ class Radio {
   // duplex). Precondition: not already transmitting.
   void transmit(const mac::Frame& frame);
 
-  // Channel-driven: a frame's first bit arrives; last bit at `end`.
-  void begin_reception(const mac::Frame& frame, sim::SimTime end);
+  // Channel-driven: a frame's first bit arrives; last bit at `end`. The
+  // frame is the channel's shared immutable copy — every receiver of one
+  // transmission holds the same allocation (zero-copy delivery).
+  void begin_reception(std::shared_ptr<const mac::Frame> frame, sim::SimTime end);
 
   // Crash support: destroys every reception in progress (the radio lost
   // power mid-frame). Not counted as a collision — nothing interfered.
@@ -66,7 +69,7 @@ class Radio {
 
  private:
   struct ActiveRx {
-    mac::Frame frame;
+    std::shared_ptr<const mac::Frame> frame;
     sim::SimTime end;
     bool corrupt{false};
   };

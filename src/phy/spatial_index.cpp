@@ -1,0 +1,130 @@
+#include "phy/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ag::phy {
+
+namespace {
+
+// Epochs longer than ~30 years of simulated time are "forever" for any
+// run this simulator hosts; the clamp keeps SimTime arithmetic safe.
+constexpr double kMaxEpochS = 1e9;
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(const mobility::MobilityModel& mobility,
+                           std::size_t node_count, double range_m,
+                           double margin_fraction)
+    : mobility_{mobility},
+      node_count_{node_count},
+      max_speed_mps_{mobility.max_speed_mps()},
+      wrap_x_{mobility.wraps_x()} {
+  margin_m_ = max_speed_mps_ > 0.0 ? margin_fraction * range_m : 0.0;
+  cell_m_ = range_m + margin_m_;
+  bounds_ = mobility_.bounds();
+  // More than ~sqrt(n) cells per axis cannot push mean occupancy below
+  // one node per cell, so wider grids only waste memory: grow the cells
+  // instead (larger-than-minimum cells never violate the neighborhood
+  // invariant).
+  const double k = std::max(1.0, std::ceil(std::sqrt(static_cast<double>(
+                                     std::max<std::size_t>(node_count_, 1)))));
+  cell_m_ = std::max({cell_m_, bounds_.width() / k, bounds_.height() / k});
+  if (!(cell_m_ > 0.0)) cell_m_ = 1.0;  // point area, zero range: one cell
+  if (wrap_x_ && bounds_.width() > cell_m_) {
+    // Wrap seam: columns must tile the circumference exactly, so widen
+    // them to width / floor(width / cell) — every column is then at
+    // least cell_m_ wide and "within one column" holds in the circular
+    // metric with no narrow seam column.
+    nx_ = static_cast<std::size_t>(std::floor(bounds_.width() / cell_m_));
+    cell_x_m_ = bounds_.width() / static_cast<double>(nx_);
+  } else {
+    nx_ = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       std::ceil(bounds_.width() / cell_m_)));
+    cell_x_m_ = cell_m_;
+  }
+  ny_ = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     std::ceil(bounds_.height() / cell_m_)));
+  cells_.resize(nx_ * ny_);
+  seen_generation_ = mobility_.position_generation();
+}
+
+std::size_t SpatialIndex::col_of(double x) const {
+  double rel = x - bounds_.min.x;
+  if (wrap_x_ && bounds_.width() > 0.0) {
+    rel = std::fmod(rel, bounds_.width());
+    if (rel < 0.0) rel += bounds_.width();
+  }
+  const auto raw = static_cast<std::ptrdiff_t>(std::floor(rel / cell_x_m_));
+  if (raw < 0) return 0;
+  return std::min(static_cast<std::size_t>(raw), nx_ - 1);
+}
+
+std::size_t SpatialIndex::row_of(double y) const {
+  const auto raw = static_cast<std::ptrdiff_t>(std::floor((y - bounds_.min.y) / cell_m_));
+  if (raw < 0) return 0;
+  return std::min(static_cast<std::size_t>(raw), ny_ - 1);
+}
+
+void SpatialIndex::refresh_if_stale(sim::SimTime now) {
+  if (built_ && now <= valid_until_ &&
+      seen_generation_ == mobility_.position_generation()) {
+    return;
+  }
+  rebuild(now);
+}
+
+void SpatialIndex::rebuild(sim::SimTime now) {
+  for (std::vector<std::uint32_t>& cell : cells_) cell.clear();
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const mobility::Vec2 p = mobility_.position_of(i, now);
+    cells_[row_of(p.y) * nx_ + col_of(p.x)].push_back(static_cast<std::uint32_t>(i));
+  }
+  valid_until_ =
+      max_speed_mps_ > 0.0
+          ? now + sim::Duration::seconds(
+                      std::min(kMaxEpochS, margin_m_ / max_speed_mps_))
+          : sim::SimTime::max();
+  seen_generation_ = mobility_.position_generation();
+  built_ = true;
+  ++rebuilds_;
+}
+
+void SpatialIndex::collect_candidates(mobility::Vec2 from,
+                                      std::vector<std::uint32_t>& out) const {
+  const std::size_t c0 = col_of(from.x);
+  const std::size_t r0 = row_of(from.y);
+
+  // The 3 candidate columns; wrap models use modular adjacency (deduped
+  // for grids narrower than three columns).
+  const auto snx = static_cast<std::ptrdiff_t>(nx_);
+  std::size_t cols[3];
+  std::size_t n_cols = 0;
+  for (std::ptrdiff_t dc = -1; dc <= 1; ++dc) {
+    std::ptrdiff_t c = static_cast<std::ptrdiff_t>(c0) + dc;
+    if (wrap_x_) {
+      c = (c + snx) % snx;
+    } else if (c < 0 || c >= snx) {
+      continue;
+    }
+    const auto col = static_cast<std::size_t>(c);
+    bool dup = false;
+    for (std::size_t k = 0; k < n_cols; ++k) dup = dup || cols[k] == col;
+    if (!dup) cols[n_cols++] = col;
+  }
+
+  for (std::ptrdiff_t dr = -1; dr <= 1; ++dr) {
+    const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(r0) + dr;
+    if (r < 0 || r >= static_cast<std::ptrdiff_t>(ny_)) continue;
+    const auto row = static_cast<std::size_t>(r);
+    for (std::size_t k = 0; k < n_cols; ++k) {
+      const std::vector<std::uint32_t>& cell = cells_[row * nx_ + cols[k]];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  // Ascending node order, so the channel visits candidates exactly as the
+  // brute-force scan would and schedules identical event sequences.
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace ag::phy

@@ -1,0 +1,95 @@
+// Uniform-grid spatial index over mobility positions, the receiver-lookup
+// accelerator for phy::Channel::transmit(). Replaces the brute-force
+// O(n) scan over every attached radio with an O(degree) candidate lookup
+// while keeping delivery decisions bit-identical:
+//
+//  - Cells are sized transmission_range + margin, where the margin is a
+//    conservative max_speed * epoch bound on how far closed-form motion
+//    can drift between bucket refreshes. Any receiver within true range
+//    of the sender *now* was, at bucket time, within range + margin of
+//    the sender's current position, so it sits in the 3x3 cell
+//    neighborhood around the sender's current cell.
+//  - Buckets refresh lazily: the first query past the epoch horizon (or
+//    after a MobilityModel::position_generation() bump, e.g. a test
+//    teleporting a node) rebuilds in O(n).
+//  - Candidates are returned in ascending node index — the same order the
+//    brute-force scan visits them — and the caller still applies the
+//    exact range check, so schedules and results match the scan bit for
+//    bit.
+//  - Positions outside the model's declared bounds clamp into the border
+//    cells. Clamping is monotone and 1-Lipschitz per axis, so two
+//    positions within one cell length of each other stay within one cell
+//    of each other after clamping: correctness degrades never, only
+//    candidate-set tightness.
+//  - Models with wraps_x() (highway wrap-around) use modular column
+//    adjacency, so a car that wrapped between refresh and query is still
+//    found in the border column on the other side.
+#ifndef AG_PHY_SPATIAL_INDEX_H
+#define AG_PHY_SPATIAL_INDEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "sim/time.h"
+
+namespace ag::phy {
+
+class SpatialIndex {
+ public:
+  // Indexes nodes [0, node_count) of `mobility` (the channel's attached
+  // radios; the model may know about more nodes). `margin_fraction` sets
+  // the refresh trade-off: margin = margin_fraction * range, and the
+  // epoch between rebuilds is margin / max_speed.
+  SpatialIndex(const mobility::MobilityModel& mobility, std::size_t node_count,
+               double range_m, double margin_fraction = 0.25);
+
+  // Makes the buckets valid for queries at `now`: rebuilds when the epoch
+  // expired or the model's position generation changed.
+  void refresh_if_stale(sim::SimTime now);
+
+  // Appends every node whose reception could be in range of a sender at
+  // `from` (candidates; the caller applies the exact range check), in
+  // ascending node index. Only valid after refresh_if_stale(now) with the
+  // `now` the position was sampled at.
+  void collect_candidates(mobility::Vec2 from, std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t cols() const { return nx_; }
+  [[nodiscard]] std::size_t rows() const { return ny_; }
+  [[nodiscard]] double cell_size_m() const { return cell_m_; }
+  [[nodiscard]] double margin_m() const { return margin_m_; }
+  // End of the current epoch: queries at or before this time are covered
+  // by the margin (SimTime::max() for immobile models).
+  [[nodiscard]] sim::SimTime valid_until() const { return valid_until_; }
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void rebuild(sim::SimTime now);
+  [[nodiscard]] std::size_t col_of(double x) const;
+  [[nodiscard]] std::size_t row_of(double y) const;
+
+  const mobility::MobilityModel& mobility_;
+  std::size_t node_count_;
+  double margin_m_;
+  double cell_m_;
+  // Column width. Equals cell_m_ except for wrap-x models, where columns
+  // must divide the circumference exactly: a seam column narrower than
+  // the cell would break the "±1 column mod nx" adjacency for circle
+  // distances that span it, dropping true receivers across the wrap.
+  double cell_x_m_;
+  double max_speed_mps_;
+  bool wrap_x_;
+  mobility::Bounds bounds_;
+  std::size_t nx_{1};
+  std::size_t ny_{1};
+  std::vector<std::vector<std::uint32_t>> cells_;  // nx_ * ny_, row-major
+  sim::SimTime valid_until_{sim::SimTime::zero()};
+  std::uint64_t seen_generation_{0};
+  bool built_{false};
+  std::uint64_t rebuilds_{0};
+};
+
+}  // namespace ag::phy
+
+#endif  // AG_PHY_SPATIAL_INDEX_H

@@ -5,20 +5,53 @@
 
 namespace ag::sim {
 
+std::uint32_t EventQueue::acquire_slot(Action action) {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].action = std::move(action);
+    slots_[slot].cancelled = false;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  assert(slots_.size() < kSlotMask && "too many concurrently pending events");
+  slots_.push_back(Slot{std::move(action)});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) const {
+  slots_[slot].action = nullptr;  // free captured state eagerly
+  ++slots_[slot].generation;
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventId EventQueue::schedule(SimTime at, Action action) {
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, id, std::move(action)});
-  live_.insert(id);
-  return EventId{id};
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  heap_.push(Entry{at, next_seq_++, slot});
+  ++live_count_;
+  // Slot indices are offset by one so a packed id is never 0 (invalid).
+  return EventId{(slots_[slot].generation << kSlotBits) | (slot + 1)};
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  return live_.erase(id.id_) > 0;  // corpse stays in heap_, skipped on pop
+  const std::uint64_t slot_plus_one = id.id_ & kSlotMask;
+  const std::uint64_t generation = id.id_ >> kSlotBits;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // Stale generation: the event already fired (or was cancelled) and the
+  // slot moved on. Same-generation cancelled: idempotent no-op.
+  if (s.generation != generation || s.cancelled) return false;
+  s.cancelled = true;
+  --live_count_;
+  return true;  // corpse stays in heap_, skipped on pop
 }
 
 void EventQueue::drop_cancelled_front() const {
-  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+  while (!heap_.empty() && slots_[heap_.top().slot].cancelled) {
+    release_slot(heap_.top().slot);
     heap_.pop();
   }
 }
@@ -31,12 +64,11 @@ SimTime EventQueue::next_time() const {
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_front();
   assert(!heap_.empty());
-  // priority_queue::top() is const&; the Entry is moved out via const_cast,
-  // which is safe because the entry is popped immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.at, std::move(top.action)};
-  live_.erase(top.id);
+  const Entry top = heap_.top();
+  Fired fired{top.at, std::move(slots_[top.slot].action)};
+  release_slot(top.slot);
   heap_.pop();
+  --live_count_;
   return fired;
 }
 

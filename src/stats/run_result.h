@@ -37,6 +37,16 @@ struct MemberResult {
 
 struct NetworkTotals {
   std::uint64_t channel_transmissions{0};
+  // Phy-level work done by the channel: receptions scheduled, and
+  // in-range receivers suppressed by a downed radio or an active
+  // partition (identical whether the spatial index or the brute-force
+  // scan found the receiver — see phy::Channel).
+  std::uint64_t phy_deliveries{0};
+  std::uint64_t phy_suppressed_down{0};
+  std::uint64_t phy_suppressed_partition{0};
+  // Simulator events executed over the run (the denominator of the
+  // events/sec throughput the scale bench reports).
+  std::uint64_t sim_events{0};
   std::uint64_t mac_unicast{0};
   std::uint64_t mac_broadcast{0};
   std::uint64_t mac_collisions{0};

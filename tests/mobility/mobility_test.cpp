@@ -17,6 +17,15 @@ TEST(Vec2, DistanceAndNorm) {
   EXPECT_DOUBLE_EQ((Vec2{1, 2} * 2.0).y, 4.0);
 }
 
+TEST(Vec2, SquaredDistanceMatchesDistance) {
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm_sq(), 25.0);
+  // The range predicate the channel relies on: d <= r iff d^2 <= r^2.
+  const Vec2 a{12.5, -3.75};
+  const Vec2 b{-41.25, 88.0};
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), distance(a, b) * distance(a, b));
+}
+
 TEST(StaticMobility, HoldsPositions) {
   StaticMobility m{{{1, 2}, {3, 4}}};
   EXPECT_EQ(m.node_count(), 2u);
@@ -35,6 +44,55 @@ TEST(StaticMobility, GridBuilder) {
   StaticMobility m = StaticMobility::grid(3, 2, 5.0);
   EXPECT_EQ(m.node_count(), 6u);
   EXPECT_EQ(m.position_of(4, {}), (Vec2{5.0, 5.0}));  // col 1, row 1
+}
+
+TEST(StaticMobility, BoundsTrackPositionsAndMovesBumpGeneration) {
+  StaticMobility m{{{10, 5}, {-3, 40}, {25, 0}}};
+  EXPECT_EQ(m.bounds().min, (Vec2{-3, 0}));
+  EXPECT_EQ(m.bounds().max, (Vec2{25, 40}));
+  EXPECT_DOUBLE_EQ(m.max_speed_mps(), 0.0);
+  EXPECT_FALSE(m.wraps_x());
+
+  const std::uint64_t before = m.position_generation();
+  m.move_to(0, {100, 100});
+  EXPECT_GT(m.position_generation(), before);
+  EXPECT_EQ(m.bounds().max, (Vec2{100, 100}));
+}
+
+TEST(RandomWaypoint, DeclaresAreaBoundsAndSpeedBound) {
+  sim::Simulator sim{3};
+  RandomWaypointConfig cfg;
+  cfg.area_width_m = 300.0;
+  cfg.area_height_m = 150.0;
+  cfg.max_speed_mps = 7.0;
+  RandomWaypoint rwp{sim, 4, cfg, sim.rng().stream("mobility")};
+  EXPECT_EQ(rwp.bounds().min, (Vec2{0, 0}));
+  EXPECT_EQ(rwp.bounds().max, (Vec2{300.0, 150.0}));
+  EXPECT_DOUBLE_EQ(rwp.max_speed_mps(), 7.0);
+  EXPECT_FALSE(rwp.wraps_x());
+}
+
+TEST(RandomWaypoint, SpeedBoundCoversTheMinimumSpeedClamp) {
+  sim::Simulator sim{3};
+  RandomWaypointConfig cfg;
+  cfg.min_speed_mps = 0.0;
+  cfg.max_speed_mps = 0.0;  // every draw gets clamped up to the floor
+  RandomWaypoint rwp{sim, 2, cfg, sim.rng().stream("mobility")};
+  EXPECT_GE(rwp.max_speed_mps(), kMinEffectiveSpeedMps);
+}
+
+TEST(Highway, DeclaresWrapAndBounds) {
+  sim::Rng rng{4};
+  HighwayConfig cfg;
+  cfg.length_m = 800.0;
+  cfg.lanes = 3;
+  cfg.lane_spacing_m = 5.0;
+  cfg.max_speed_mps = 35.0;
+  HighwayMobility hw{6, cfg, rng};
+  EXPECT_TRUE(hw.wraps_x());
+  EXPECT_EQ(hw.bounds().min, (Vec2{0, 0}));
+  EXPECT_EQ(hw.bounds().max, (Vec2{800.0, 10.0}));
+  EXPECT_DOUBLE_EQ(hw.max_speed_mps(), 35.0);
 }
 
 class RandomWaypointTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -165,6 +165,27 @@ TEST(Radio, IdleForTracksQuietTime) {
   f.sim_.run_all();
 }
 
+TEST(Channel, CountsDeliveriesAndInRangeSuppressionsOnly) {
+  // Node 1 in range and down; node 2 in range and up; node 3 down but far
+  // out of range — only in-range suppression counts, so the counters are
+  // identical between the spatial index and the brute-force scan.
+  PhyFixture f{{{0, 0}, {50, 0}, {90, 0}, {1000, 0}}, 100.0};
+  f.channel_.set_node_down(1, true);
+  f.channel_.set_node_down(3, true);
+  f.radios_[0]->transmit(test_frame(0));
+  f.sim_.run_all();
+  EXPECT_EQ(f.channel_.deliveries(), 1u);        // node 2
+  EXPECT_EQ(f.channel_.suppressed_down(), 1u);   // node 1, not node 3
+  EXPECT_EQ(f.channel_.suppressed_partition(), 0u);
+
+  f.channel_.set_node_down(1, false);
+  f.channel_.set_partition({0, 1, 0, 0});
+  f.radios_[0]->transmit(test_frame(0));
+  f.sim_.run_all();
+  EXPECT_EQ(f.channel_.deliveries(), 2u);            // node 2 again
+  EXPECT_EQ(f.channel_.suppressed_partition(), 1u);  // node 1 across the cut
+}
+
 TEST(Channel, CountsTransmissions) {
   PhyFixture f{{{0, 0}, {50, 0}}};
   f.radios_[0]->transmit(test_frame(0));
