@@ -28,36 +28,20 @@ inline std::vector<harness::Protocol> headline_protocols() {
 
 // Parses a `--protocols=name,name` flag (registry string names, see
 // `quickstart` for the list) anywhere in argv; returns `fallback` when
-// absent. Unknown names print the registry's error and exit(2), so every
-// bench fails fast with the same message.
+// absent. Validation lives in ProtocolRegistry::parse_list (unit-tested):
+// an unknown name or an empty list fails fast with exit(2) and the
+// registry's message naming every registered protocol.
 inline std::vector<harness::Protocol> protocols_from_cli(
     int argc, char** argv, std::vector<harness::Protocol> fallback) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--protocols=", 12) != 0) continue;
-    std::vector<harness::Protocol> out;
-    std::string names{arg + 12};
-    std::size_t start = 0;
-    while (start <= names.size()) {
-      const std::size_t comma = names.find(',', start);
-      const std::string name =
-          names.substr(start, comma == std::string::npos ? comma : comma - start);
-      if (!name.empty()) {
-        try {
-          out.push_back(harness::ProtocolRegistry::instance().parse(name));
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
-          std::exit(2);
-        }
-      }
-      if (comma == std::string::npos) break;
-      start = comma + 1;
-    }
-    if (out.empty()) {
-      std::fprintf(stderr, "%s: --protocols= needs at least one name\n", argv[0]);
+    try {
+      return harness::ProtocolRegistry::instance().parse_list(arg + 12);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
       std::exit(2);
     }
-    return out;
   }
   return fallback;
 }

@@ -4,7 +4,8 @@
 // reports wall-clock and simulator-event throughput per point alongside
 // the delivery stats; everything lands in BENCH_scale.json so CI can
 // accumulate a perf trajectory. Runs are kept short — this is a
-// build-health and throughput check for large networks, not a paper
+// build-health and throughput check for large networks (default sweep
+// now tops out at 2000 nodes on the dense data plane), not a paper
 // figure; fig6/fig7 remain the measured node-count sweeps. Range scales
 // as 75*sqrt(40/n) to hold mean degree roughly constant while the area
 // stays 200x200 m, and the group stays at the paper's 13 members (1/3 of
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "figure_common.h"
+#include "net/data_plane.h"
 #include "phy/channel.h"
 
 namespace {
@@ -85,6 +87,8 @@ bool write_scale_json(const std::string& path, const std::vector<PointReport>& r
   out << "  \"param\": \"node_count\",\n";
   out << "  \"seeds\": " << seeds << ",\n";
   out << "  \"spatial_index\": " << (index_on ? "true" : "false") << ",\n";
+  out << "  \"dense_tables\": " << (ag::net::dense_tables_enabled() ? "true" : "false")
+      << ",\n";
   out << "  \"points\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const PointReport& rep = reports[i];
@@ -102,7 +106,10 @@ bool write_scale_json(const std::string& path, const std::vector<PointReport>& r
           << ", \"transmissions\": " << p.mean_transmissions
           << ", \"deliveries\": " << p.mean_deliveries
           << ", \"suppressed_down\": " << p.mean_suppressed_down
-          << ", \"suppressed_partition\": " << p.mean_suppressed_partition << "}"
+          << ", \"suppressed_partition\": " << p.mean_suppressed_partition
+          << ", \"table_probes\": " << p.mean_table_probes
+          << ", \"pool_hits\": " << p.mean_pool_hits
+          << ", \"pool_misses\": " << p.mean_pool_misses << "}"
           << (s + 1 < rep.result.series.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (i + 1 < reports.size() ? "," : "") << "\n";
@@ -120,7 +127,7 @@ int main(int argc, char** argv) {
   const std::vector<harness::Protocol> protocols =
       bench::protocols_from_cli(argc, argv, bench::headline_protocols());
   const std::vector<std::size_t> node_counts =
-      nodes_from_cli(argc, argv, {40, 120, 250, 500, 1000});
+      nodes_from_cli(argc, argv, {40, 120, 250, 500, 1000, 2000});
 
   harness::ScenarioConfig base = bench::paper_base();
   base.duration = sim::SimTime::seconds(80.0);

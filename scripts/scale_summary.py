@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Renders BENCH_scale.json as a GitHub-flavored markdown table.
+
+Used by the Release CI job to append a wall-clock + events/sec summary to
+$GITHUB_STEP_SUMMARY, so perf regressions are visible on the PR page
+without downloading the artifact.
+
+Usage: scale_summary.py BENCH_scale.json
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: scale_summary.py BENCH_scale.json", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        # CI must not fail the build over a missing/truncated bench file
+        # (the wall-clock budget may have tripped); say so in the summary.
+        print(f"### Scaling smoke\n\n_no usable {sys.argv[1]}: {e}_")
+        return 0
+
+    seeds = data.get("seeds", "?")
+    index = json.dumps(data.get("spatial_index", "?"))
+    dense = json.dumps(data.get("dense_tables", "?"))
+    print("### Scaling smoke (`scale_smoke`)\n")
+    print(f"seeds: {seeds} · spatial index: {index} · dense tables: {dense}\n")
+    print("| nodes | wall (s) | sim events | events/sec | per-protocol delivery |")
+    print("|------:|---------:|-----------:|-----------:|:----------------------|")
+    for point in data.get("points", []):
+        protocols = ", ".join(
+            f"{s.get('name', '?')}={s.get('delivery_ratio', 0):.2f}"
+            for s in point.get("series", [])
+        )
+        print(
+            f"| {point.get('nodes', '?')} "
+            f"| {point.get('wall_clock_s', 0):.2f} "
+            f"| {point.get('sim_events', 0):,} "
+            f"| {point.get('events_per_sec', 0):,.0f} "
+            f"| {protocols} |"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,8 +89,12 @@ void AodvRouter::broadcast_packet(net::Payload payload, std::uint8_t ttl) {
 void AodvRouter::broadcast_jittered(net::Payload payload, std::uint8_t ttl,
                                     sim::Duration max_jitter) {
   const auto delay = sim::Duration::us(rng_.uniform_int(0, max_jitter.count_us()));
-  sim_.schedule_after(delay, [this, payload = std::move(payload), ttl]() mutable {
-    broadcast_packet(std::move(payload), ttl);
+  // Build the pooled packet now (the content is already final): the event
+  // captures one shared_ptr instead of copying the whole payload twice.
+  net::PacketPtr pkt =
+      net::make_packet(self_, net::NodeId::broadcast(), ttl, std::move(payload));
+  sim_.schedule_after(delay, [this, pkt = std::move(pkt)] {
+    mac_.send(net::NodeId::broadcast(), pkt);
   });
 }
 
@@ -129,27 +133,27 @@ void AodvRouter::discover(net::NodeId dest) {
 }
 
 void AodvRouter::discovery_timeout(net::NodeId dest) {
-  auto it = discoveries_.find(dest);
-  if (it == discoveries_.end()) return;
+  PendingDiscovery* pending = discoveries_.find(dest);
+  if (pending == nullptr) return;
   if (routes_.find_valid(dest, sim_.now()) != nullptr) {
     flush_buffered(dest);
     return;
   }
-  if (it->second.attempts <= params_.rreq_retries) {
+  if (pending->attempts <= params_.rreq_retries) {
     discover(dest);
     return;
   }
   ++counters_.discovery_failures;
-  counters_.no_route_drops += it->second.buffered.size();
-  discoveries_.erase(it);
+  counters_.no_route_drops += pending->buffered.size();
+  discoveries_.erase(dest);
   on_route_discovery_failed(dest);
 }
 
 void AodvRouter::flush_buffered(net::NodeId dest) {
-  auto it = discoveries_.find(dest);
-  if (it == discoveries_.end()) return;
-  std::deque<net::Packet> buffered = std::move(it->second.buffered);
-  discoveries_.erase(it);
+  PendingDiscovery* pending = discoveries_.find(dest);
+  if (pending == nullptr) return;
+  std::deque<net::Packet> buffered = std::move(pending->buffered);
+  discoveries_.erase(dest);
   for (net::Packet& pkt : buffered) send_unicast(std::move(pkt));
 }
 
@@ -229,14 +233,14 @@ void AodvRouter::learn_reverse_routes(const RreqMsg& rreq, net::NodeId from) {
 bool AodvRouter::rreq_seen_before(net::NodeId origin, std::uint32_t rreq_id) {
   const std::uint64_t key = rreq_key(origin, rreq_id);
   const sim::SimTime now = sim_.now();
-  auto [it, inserted] = rreq_cache_.try_emplace(key, now + params_.path_discovery_time);
-  if (!inserted && it->second >= now) return true;
-  it->second = now + params_.path_discovery_time;
+  auto [expiry, inserted] =
+      rreq_cache_.try_emplace(key, now + params_.path_discovery_time);
+  if (!inserted && *expiry >= now) return true;
+  *expiry = now + params_.path_discovery_time;
   // Opportunistic cleanup keeps the cache bounded on long runs.
   if (rreq_cache_.size() > 2048) {
-    for (auto c = rreq_cache_.begin(); c != rreq_cache_.end();) {
-      c = c->second < now ? rreq_cache_.erase(c) : std::next(c);
-    }
+    rreq_cache_.erase_if(
+        [now](std::uint64_t, sim::SimTime& expires) { return expires < now; });
   }
   return false;
 }

@@ -10,7 +10,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 
 #include "aodv/messages.h"
@@ -18,6 +17,8 @@
 #include "aodv/params.h"
 #include "aodv/route_table.h"
 #include "mac/csma_mac.h"
+#include "net/dense_map.h"
+#include "net/node_table.h"
 #include "net/packet.h"
 #include "sim/rng.h"
 #include "sim/timer.h"
@@ -144,8 +145,8 @@ class AodvRouter : public mac::MacListener {
   NeighborTable neighbors_;
   net::SeqNo own_seq_{net::SeqNo{1}};
   std::uint32_t rreq_id_{1};
-  std::unordered_map<std::uint64_t, sim::SimTime> rreq_cache_;  // (origin,id) -> expiry
-  std::unordered_map<net::NodeId, PendingDiscovery> discoveries_;
+  net::DenseMap<sim::SimTime> rreq_cache_;  // (origin,id) -> expiry
+  net::NodeTable<PendingDiscovery> discoveries_;
   LocalDeliver local_deliver_;
   sim::PeriodicTimer hello_timer_;
   sim::PeriodicTimer sweep_timer_;

@@ -4,14 +4,11 @@ namespace ag::aodv {
 
 std::vector<net::NodeId> NeighborTable::sweep_expired(sim::SimTime cutoff) {
   std::vector<net::NodeId> expired;
-  for (auto it = last_heard_.begin(); it != last_heard_.end();) {
-    if (it->second < cutoff) {
-      expired.push_back(it->first);
-      it = last_heard_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  last_heard_.erase_if([&](net::NodeId neighbor, sim::SimTime& heard_at) {
+    if (heard_at >= cutoff) return false;
+    expired.push_back(neighbor);
+    return true;
+  });
   return expired;
 }
 

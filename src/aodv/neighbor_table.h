@@ -3,10 +3,10 @@
 #ifndef AG_AODV_NEIGHBOR_TABLE_H
 #define AG_AODV_NEIGHBOR_TABLE_H
 
-#include <unordered_map>
 #include <vector>
 
 #include "net/ids.h"
+#include "net/node_table.h"
 #include "sim/time.h"
 
 namespace ag::aodv {
@@ -20,7 +20,8 @@ class NeighborTable {
     return last_heard_.contains(neighbor);
   }
 
-  // Removes and returns all neighbors not heard since `cutoff`.
+  // Removes and returns all neighbors not heard since `cutoff`, in
+  // ascending node order.
   std::vector<net::NodeId> sweep_expired(sim::SimTime cutoff);
 
   [[nodiscard]] std::size_t size() const { return last_heard_.size(); }
@@ -29,7 +30,7 @@ class NeighborTable {
   void clear() { last_heard_.clear(); }
 
  private:
-  std::unordered_map<net::NodeId, sim::SimTime> last_heard_;
+  net::NodeTable<sim::SimTime> last_heard_;
 };
 
 }  // namespace ag::aodv

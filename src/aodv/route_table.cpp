@@ -2,14 +2,10 @@
 
 namespace ag::aodv {
 
-RouteEntry* RouteTable::find(net::NodeId dest) {
-  auto it = entries_.find(dest);
-  return it == entries_.end() ? nullptr : &it->second;
-}
+RouteEntry* RouteTable::find(net::NodeId dest) { return entries_.find(dest); }
 
 const RouteEntry* RouteTable::find(net::NodeId dest) const {
-  auto it = entries_.find(dest);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.find(dest);
 }
 
 RouteEntry* RouteTable::find_valid(net::NodeId dest, sim::SimTime now) {
@@ -24,8 +20,8 @@ RouteEntry* RouteTable::find_valid(net::NodeId dest, sim::SimTime now) {
 
 bool RouteTable::offer(net::NodeId dest, net::SeqNo seq, bool seq_known,
                        std::uint8_t hops, net::NodeId next_hop, sim::SimTime expires) {
-  auto [it, inserted] = entries_.try_emplace(dest);
-  RouteEntry& e = it->second;
+  auto [slot, inserted] = entries_.try_emplace(dest);
+  RouteEntry& e = *slot;
   if (inserted) {
     e = RouteEntry{dest, seq, seq_known, hops, next_hop, expires, true};
     return true;
@@ -70,9 +66,9 @@ RouteEntry* RouteTable::invalidate(net::NodeId dest) {
 
 std::vector<net::NodeId> RouteTable::dests_via(net::NodeId next_hop) const {
   std::vector<net::NodeId> out;
-  for (const auto& [dest, e] : entries_) {
+  entries_.for_each([&](net::NodeId dest, const RouteEntry& e) {
     if (e.valid && e.next_hop == next_hop) out.push_back(dest);
-  }
+  });
   return out;
 }
 

@@ -5,10 +5,10 @@
 #define AG_AODV_ROUTE_TABLE_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/ids.h"
+#include "net/node_table.h"
 #include "sim/time.h"
 
 namespace ag::aodv {
@@ -55,7 +55,7 @@ class RouteTable {
   void clear() { entries_.clear(); }
 
  private:
-  std::unordered_map<net::NodeId, RouteEntry> entries_;
+  net::NodeTable<RouteEntry> entries_;
 };
 
 }  // namespace ag::aodv

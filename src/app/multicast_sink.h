@@ -8,10 +8,10 @@
 #define AG_APP_MULTICAST_SINK_H
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "net/data.h"
+#include "net/dense_map.h"
 #include "sim/simulator.h"
 
 namespace ag::app {
@@ -59,7 +59,7 @@ class MulticastSink {
         ++out_of_subscription_;
         return;
       }
-      if (!seen_.insert(net::MsgId{data.origin, data.seq}).second) {
+      if (!seen_.insert(net::msg_key(net::MsgId{data.origin, data.seq}))) {
         return;  // re-delivered after a state wipe; already credited
       }
     }
@@ -89,7 +89,7 @@ class MulticastSink {
   bool tracking_{false};
   bool subscribed_{false};
   std::vector<Interval> intervals_;
-  std::unordered_set<net::MsgId> seen_;  // populated only while tracking
+  net::DenseSet seen_;  // populated only while tracking
   std::uint64_t received_{0};
   std::uint64_t via_gossip_{0};
   std::uint64_t out_of_subscription_{0};

@@ -9,22 +9,22 @@ FloodRouter::FloodRouter(mac::CsmaMac& mac, net::NodeId self, std::uint8_t data_
 }
 
 void FloodRouter::join_group(net::GroupId group) {
-  if (members_.insert(group).second && observer_ != nullptr) {
+  if (members_.insert(group) && observer_ != nullptr) {
     observer_->on_self_membership_changed(group, true);
   }
 }
 
 void FloodRouter::leave_group(net::GroupId group) {
-  if (members_.erase(group) > 0 && observer_ != nullptr) {
+  if (members_.erase(group) && observer_ != nullptr) {
     observer_->on_self_membership_changed(group, false);
   }
 }
 
 bool FloodRouter::remember(const net::MsgId& id) {
-  if (!seen_.insert(id).second) return false;
+  if (!seen_.insert(net::msg_key(id))) return false;
   seen_order_.push_back(id);
   while (seen_order_.size() > dedup_capacity_) {
-    seen_.erase(seen_order_.front());
+    seen_.erase(net::msg_key(seen_order_.front()));
     seen_order_.pop_front();
   }
   return true;

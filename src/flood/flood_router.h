@@ -8,12 +8,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
 
 #include "gossip/routing_adapter.h"
 #include "harness/multicast_router.h"
 #include "mac/csma_mac.h"
 #include "net/data.h"
+#include "net/dense_map.h"
+#include "net/node_table.h"
 #include "net/packet.h"
 
 namespace ag::flood {
@@ -80,9 +81,9 @@ class FloodRouter final : public mac::MacListener, public harness::MulticastRout
   std::uint8_t data_ttl_;
   std::size_t dedup_capacity_;
   gossip::RouterObserver* observer_{nullptr};
-  std::unordered_set<net::GroupId> members_;
-  std::unordered_map<net::GroupId, std::uint32_t> next_seq_;
-  std::unordered_set<net::MsgId> seen_;
+  net::IdSet<net::GroupId> members_;
+  net::NodeTable<std::uint32_t, net::GroupId> next_seq_;
+  net::DenseSet seen_;
   std::deque<net::MsgId> seen_order_;
   Counters counters_;
 };

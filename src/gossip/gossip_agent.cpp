@@ -31,24 +31,22 @@ void GossipAgent::reset() {
 }
 
 GossipAgent::GroupState& GossipAgent::state_for(net::GroupId group) {
-  auto it = groups_.find(group);
-  if (it == groups_.end()) {
-    it = groups_.emplace(group, std::make_unique<GroupState>(params_)).first;
-  }
-  return *it->second;
+  auto& state = groups_[group];
+  if (state == nullptr) state = std::make_unique<GroupState>(params_);
+  return *state;
 }
 
 const LostTable* GossipAgent::lost_table(net::GroupId group) const {
-  auto it = groups_.find(group);
-  return it == groups_.end() ? nullptr : &it->second->lost;
+  const auto* state = groups_.find(group);
+  return state == nullptr ? nullptr : &(*state)->lost;
 }
 const HistoryTable* GossipAgent::history(net::GroupId group) const {
-  auto it = groups_.find(group);
-  return it == groups_.end() ? nullptr : &it->second->history;
+  const auto* state = groups_.find(group);
+  return state == nullptr ? nullptr : &(*state)->history;
 }
 const MemberCache* GossipAgent::member_cache(net::GroupId group) const {
-  auto it = groups_.find(group);
-  return it == groups_.end() ? nullptr : &it->second->cache;
+  const auto* state = groups_.find(group);
+  return state == nullptr ? nullptr : &(*state)->cache;
 }
 
 // ------------------------------------------------------------- data path
@@ -112,12 +110,12 @@ void GossipAgent::run_round() {
     nm_.republish_all();
   }
   const bool aging = params_.member_cache_ttl > sim::Duration::zero();
-  for (auto& [group, gs] : groups_) {
+  groups_.for_each([&](net::GroupId group, std::unique_ptr<GroupState>& gs) {
     if (aging) gs->cache.expire_older_than(sim_.now() - params_.member_cache_ttl);
-    if (!adapter_.is_member(group)) continue;
+    if (!adapter_.is_member(group)) return;
     ++counters_.rounds;
     gossip_once(group, *gs);
-  }
+  });
 }
 
 GossipMsg GossipAgent::build_message(net::GroupId group, GroupState& gs) const {

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
 #include "gossip/history_table.h"
 #include "gossip/lost_table.h"
@@ -18,6 +17,7 @@
 #include "gossip/nearest_member.h"
 #include "gossip/params.h"
 #include "gossip/routing_adapter.h"
+#include "net/node_table.h"
 #include "sim/rng.h"
 #include "sim/timer.h"
 
@@ -108,7 +108,9 @@ class GossipAgent final : public RouterObserver {
   sim::Rng rng_;
   DeliverFn deliver_;
   NearestMemberTracker nm_;
-  std::unordered_map<net::GroupId, std::unique_ptr<GroupState>> groups_;
+  // unique_ptr indirection keeps GroupState (and pointers into its
+  // tables) stable across table growth.
+  net::NodeTable<std::unique_ptr<GroupState>, net::GroupId> groups_;
   sim::PeriodicTimer round_timer_;
   std::uint32_t rounds_since_nm_refresh_{0};
   Counters counters_;

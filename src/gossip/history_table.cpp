@@ -6,24 +6,23 @@ namespace ag::gossip {
 
 void HistoryTable::push(const net::MulticastData& data) {
   const net::MsgId id{data.origin, data.seq};
-  if (!by_id_.try_emplace(id, data).second) return;
+  if (!by_id_.try_emplace(net::msg_key(id), data).second) return;
   order_.push_back(id);
   while (order_.size() > capacity_) {
-    by_id_.erase(order_.front());
+    by_id_.erase(net::msg_key(order_.front()));
     order_.pop_front();
   }
 }
 
 const net::MulticastData* HistoryTable::find(const net::MsgId& id) const {
-  auto it = by_id_.find(id);
-  return it == by_id_.end() ? nullptr : &it->second;
+  return by_id_.find(net::msg_key(id));
 }
 
 std::vector<net::MulticastData> HistoryTable::recent(std::size_t max_count) const {
   std::vector<net::MulticastData> out;
   out.reserve(std::min(max_count, order_.size()));
   for (auto it = order_.rbegin(); it != order_.rend() && out.size() < max_count; ++it) {
-    out.push_back(by_id_.at(*it));
+    out.push_back(*by_id_.find(net::msg_key(*it)));
   }
   return out;
 }
@@ -35,7 +34,7 @@ std::vector<net::MulticastData> HistoryTable::collect_from(net::NodeId origin,
   for (const net::MsgId& id : order_) {
     if (out.size() >= max_count) break;
     if (id.origin == origin && id.seq >= from_seq) {
-      out.push_back(by_id_.at(id));
+      out.push_back(*by_id_.find(net::msg_key(id)));
     }
   }
   std::sort(out.begin(), out.end(),

@@ -6,10 +6,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "net/data.h"
+#include "net/dense_map.h"
 
 namespace ag::gossip {
 
@@ -40,7 +40,7 @@ class HistoryTable {
  private:
   std::size_t capacity_;
   std::deque<net::MsgId> order_;  // front = oldest
-  std::unordered_map<net::MsgId, net::MulticastData> by_id_;
+  net::DenseMap<net::MulticastData> by_id_;  // keyed net::msg_key
 };
 
 }  // namespace ag::gossip

@@ -18,7 +18,7 @@ ReceiveOutcome LostTable::on_data(const net::MsgId& id) {
     return ReceiveOutcome::created_holes;
   }
   // Older than expected: either a recovery or a duplicate.
-  if (lost_.erase(id) > 0) {
+  if (lost_.erase(net::msg_key(id))) {
     // Lazy removal from insertion_order_ happens in most_recent().
     return ReceiveOutcome::recovered;
   }
@@ -26,16 +26,17 @@ ReceiveOutcome LostTable::on_data(const net::MsgId& id) {
 }
 
 void LostTable::add_lost(const net::MsgId& id) {
-  if (!lost_.insert(id).second) return;
+  if (!lost_.insert(net::msg_key(id))) return;
   insertion_order_.push_back(id);
   while (lost_.size() > capacity_) {
     // Drop the oldest hole: with a full table the node gives up on the
     // most stale losses first (bounded memory, paper's table size 200).
-    while (!insertion_order_.empty() && !lost_.contains(insertion_order_.front())) {
+    while (!insertion_order_.empty() &&
+           !lost_.contains(net::msg_key(insertion_order_.front()))) {
       insertion_order_.pop_front();
     }
     if (insertion_order_.empty()) break;
-    lost_.erase(insertion_order_.front());
+    lost_.erase(net::msg_key(insertion_order_.front()));
     insertion_order_.pop_front();
     ++abandoned_;
   }
@@ -46,7 +47,7 @@ std::vector<net::MsgId> LostTable::most_recent(std::size_t max_count) const {
   out.reserve(std::min(max_count, lost_.size()));
   for (auto it = insertion_order_.rbegin();
        it != insertion_order_.rend() && out.size() < max_count; ++it) {
-    if (lost_.contains(*it)) out.push_back(*it);
+    if (lost_.contains(net::msg_key(*it))) out.push_back(*it);
   }
   return out;
 }
@@ -54,13 +55,15 @@ std::vector<net::MsgId> LostTable::most_recent(std::size_t max_count) const {
 std::vector<SenderExpectation> LostTable::expectations() const {
   std::vector<SenderExpectation> out;
   out.reserve(expected_.size());
-  for (const auto& [sender, seq] : expected_) out.push_back({sender, seq});
+  expected_.for_each([&](net::NodeId sender, const std::uint32_t& seq) {
+    out.push_back({sender, seq});
+  });
   return out;
 }
 
 std::uint32_t LostTable::expected_for(net::NodeId sender) const {
-  auto it = expected_.find(sender);
-  return it == expected_.end() ? 0 : it->second;
+  const std::uint32_t* seq = expected_.find(sender);
+  return seq == nullptr ? 0 : *seq;
 }
 
 }  // namespace ag::gossip

@@ -7,12 +7,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "gossip/messages.h"
 #include "net/data.h"
+#include "net/dense_map.h"
+#include "net/node_table.h"
 
 namespace ag::gossip {
 
@@ -30,7 +30,9 @@ class LostTable {
   // Classifies an arriving message and updates expected/lost bookkeeping.
   ReceiveOutcome on_data(const net::MsgId& id);
 
-  [[nodiscard]] bool contains(const net::MsgId& id) const { return lost_.contains(id); }
+  [[nodiscard]] bool contains(const net::MsgId& id) const {
+    return lost_.contains(net::msg_key(id));
+  }
   [[nodiscard]] std::size_t size() const { return lost_.size(); }
   // Holes evicted because the table overflowed (never recoverable again).
   [[nodiscard]] std::uint64_t abandoned() const { return abandoned_; }
@@ -39,7 +41,7 @@ class LostTable {
   // entries of the lost table" into the gossip message's lost buffer.
   [[nodiscard]] std::vector<net::MsgId> most_recent(std::size_t max_count) const;
 
-  // Expected sequence number per known sender.
+  // Expected sequence number per known sender, in ascending sender order.
   [[nodiscard]] std::vector<SenderExpectation> expectations() const;
   [[nodiscard]] std::uint32_t expected_for(net::NodeId sender) const;
 
@@ -47,8 +49,8 @@ class LostTable {
   void add_lost(const net::MsgId& id);
 
   std::size_t capacity_;
-  std::unordered_map<net::NodeId, std::uint32_t> expected_;
-  std::unordered_set<net::MsgId> lost_;
+  net::NodeTable<std::uint32_t> expected_;
+  net::DenseSet lost_;  // keyed net::msg_key
   std::deque<net::MsgId> insertion_order_;  // front = oldest
   std::uint64_t abandoned_{0};
 };

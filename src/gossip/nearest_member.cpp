@@ -13,10 +13,10 @@ void NearestMemberTracker::on_neighbor_added(net::GroupId group, net::NodeId nei
 }
 
 void NearestMemberTracker::on_neighbor_removed(net::GroupId group, net::NodeId neighbor) {
-  auto it = groups_.find(group);
-  if (it == groups_.end()) return;
-  it->second.values.erase(neighbor);
-  it->second.last_advertised.erase(neighbor);
+  GroupState* g = groups_.find(group);
+  if (g == nullptr) return;
+  g->values.erase(neighbor);
+  g->last_advertised.erase(neighbor);
   publish(group);
 }
 
@@ -28,56 +28,54 @@ void NearestMemberTracker::on_self_membership(net::GroupId group, bool member) {
 void NearestMemberTracker::on_update_received(net::GroupId group, net::NodeId from,
                                               std::uint16_t value) {
   GroupState& g = groups_[group];
-  auto it = g.values.find(from);
-  if (it == g.values.end()) return;  // not an activated hop (stale message)
-  if (it->second == value) return;
-  it->second = value;
+  std::uint16_t* known = g.values.find(from);
+  if (known == nullptr) return;  // not an activated hop (stale message)
+  if (*known == value) return;
+  *known = value;
   publish(group);
 }
 
 std::uint16_t NearestMemberTracker::value_for(net::GroupId group,
                                               net::NodeId neighbor) const {
-  auto git = groups_.find(group);
-  if (git == groups_.end()) return kInfinity;
-  auto it = git->second.values.find(neighbor);
-  return it == git->second.values.end() ? kInfinity : it->second;
+  const GroupState* g = groups_.find(group);
+  if (g == nullptr) return kInfinity;
+  const std::uint16_t* value = g->values.find(neighbor);
+  return value == nullptr ? kInfinity : *value;
 }
 
 std::uint16_t NearestMemberTracker::advertised_to(net::GroupId group,
                                                   net::NodeId exclude) const {
-  auto git = groups_.find(group);
-  if (git == groups_.end()) return kInfinity;
-  const GroupState& g = git->second;
-  if (g.self_member) return 1;  // this node itself is one hop from `exclude`
+  const GroupState* g = groups_.find(group);
+  if (g == nullptr) return kInfinity;
+  if (g->self_member) return 1;  // this node itself is one hop from `exclude`
   std::uint16_t best = kInfinity;
-  for (const auto& [neighbor, value] : g.values) {
-    if (neighbor == exclude) continue;
+  g->values.for_each([&](net::NodeId neighbor, const std::uint16_t& value) {
+    if (neighbor == exclude) return;
     best = std::min(best, value);
-  }
+  });
   return best == kInfinity ? kInfinity : static_cast<std::uint16_t>(best + 1);
 }
 
 void NearestMemberTracker::republish_all() {
-  for (auto& [group, state] : groups_) {
+  groups_.for_each([&](net::GroupId group, GroupState& state) {
     state.last_advertised.clear();
     publish(group);
-  }
+  });
 }
 
 void NearestMemberTracker::publish(net::GroupId group) {
-  auto git = groups_.find(group);
-  if (git == groups_.end()) return;
-  GroupState& g = git->second;
-  for (const auto& [neighbor, unused] : g.values) {
-    (void)unused;
+  GroupState* found = groups_.find(group);
+  if (found == nullptr) return;
+  GroupState& g = *found;
+  g.values.for_each([&](net::NodeId neighbor, std::uint16_t&) {
     const std::uint16_t value = advertised_to(group, neighbor);
-    auto [it, inserted] = g.last_advertised.try_emplace(neighbor, value);
+    auto [advertised, inserted] = g.last_advertised.try_emplace(neighbor, value);
     if (!inserted) {
-      if (it->second == value) continue;  // unchanged: suppress (paper 4.2)
-      it->second = value;
+      if (*advertised == value) return;  // unchanged: suppress (paper 4.2)
+      *advertised = value;
     }
     send_(group, neighbor, value);
-  }
+  });
 }
 
 }  // namespace ag::gossip

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "net/ids.h"
+#include "net/node_table.h"
 
 namespace ag::gossip {
 
@@ -50,16 +50,16 @@ class NearestMemberTracker {
  private:
   struct GroupState {
     bool self_member{false};
-    std::unordered_map<net::NodeId, std::uint16_t> values;          // per next hop
-    std::unordered_map<net::NodeId, std::uint16_t> last_advertised;  // change suppression
+    net::NodeTable<std::uint16_t> values;          // per next hop
+    net::NodeTable<std::uint16_t> last_advertised;  // change suppression
   };
 
-  // Re-derives advertised values for every neighbor of `group` and sends
-  // MODIFY messages for those that changed.
+  // Re-derives advertised values for every neighbor of `group` (ascending
+  // node order) and sends MODIFY messages for those that changed.
   void publish(net::GroupId group);
 
   SendFn send_;
-  std::unordered_map<net::GroupId, GroupState> groups_;
+  net::NodeTable<GroupState, net::GroupId> groups_;
 };
 
 }  // namespace ag::gossip

@@ -16,6 +16,9 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
   std::uint64_t deliveries_sum = 0;
   std::uint64_t down_sum = 0;
   std::uint64_t partition_sum = 0;
+  std::uint64_t probes_sum = 0;
+  std::uint64_t pool_hits_sum = 0;
+  std::uint64_t pool_misses_sum = 0;
   for (stats::RunResult& r : runs) {
     for (double v : r.received_per_member()) all_received.push_back(v);
     goodput_sum += r.mean_goodput_pct();
@@ -24,6 +27,9 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     deliveries_sum += r.totals.phy_deliveries;
     down_sum += r.totals.phy_suppressed_down;
     partition_sum += r.totals.phy_suppressed_partition;
+    probes_sum += r.totals.table_probes;
+    pool_hits_sum += r.totals.pool_hits;
+    pool_misses_sum += r.totals.pool_misses;
     point.runs.push_back(std::move(r));
   }
   point.received = stats::summarize(all_received);
@@ -35,6 +41,9 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     point.mean_deliveries = deliveries_sum / seeds;
     point.mean_suppressed_down = down_sum / seeds;
     point.mean_suppressed_partition = partition_sum / seeds;
+    point.mean_table_probes = probes_sum / seeds;
+    point.mean_pool_hits = pool_hits_sum / seeds;
+    point.mean_pool_misses = pool_misses_sum / seeds;
   }
   return point;
 }

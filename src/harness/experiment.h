@@ -25,6 +25,10 @@ struct SeriesPoint {
   std::uint64_t mean_deliveries{0};
   std::uint64_t mean_suppressed_down{0};
   std::uint64_t mean_suppressed_partition{0};
+  // Data-plane work (table ops + packet-pool behaviour), averaged.
+  std::uint64_t mean_table_probes{0};
+  std::uint64_t mean_pool_hits{0};
+  std::uint64_t mean_pool_misses{0};
   std::vector<stats::RunResult> runs;   // raw results (one per seed)
 };
 

@@ -217,7 +217,10 @@ bool ExperimentResult::write_json(const std::string& path) const {
           << ", \"transmissions\": " << p.mean_transmissions
           << ", \"deliveries\": " << p.mean_deliveries
           << ", \"suppressed_down\": " << p.mean_suppressed_down
-          << ", \"suppressed_partition\": " << p.mean_suppressed_partition << "}"
+          << ", \"suppressed_partition\": " << p.mean_suppressed_partition
+          << ", \"table_probes\": " << p.mean_table_probes
+          << ", \"pool_hits\": " << p.mean_pool_hits
+          << ", \"pool_misses\": " << p.mean_pool_misses << "}"
           << (i + 1 < series[s].points.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (s + 1 < series.size() ? "," : "") << "\n";

@@ -6,7 +6,11 @@
 
 namespace ag::harness {
 
-Network::Network(const ScenarioConfig& config) : config_{config}, sim_{config.seed} {
+Network::Network(const ScenarioConfig& config)
+    : config_{config}, sim_{config.seed}, dpc_baseline_{net::data_plane_counters()} {
+  // Start from a cold packet pool: the hit/miss split this run reports
+  // must not depend on what else this worker thread ran before.
+  net::PacketPool::local().clear();
   mobility_ = std::make_unique<mobility::RandomWaypoint>(
       sim_, config_.node_count, config_.waypoint, sim_.rng().stream("mobility"));
   channel_ = std::make_unique<phy::Channel>(sim_, *mobility_, config_.phy);
@@ -201,6 +205,10 @@ stats::RunResult Network::result() const {
   t.phy_suppressed_down = channel_->suppressed_down();
   t.phy_suppressed_partition = channel_->suppressed_partition();
   t.sim_events = sim_.executed_events();
+  const net::DataPlaneCounters& dpc = net::data_plane_counters();
+  t.table_probes = dpc.table_probes - dpc_baseline_.table_probes;
+  t.pool_hits = dpc.pool_hits - dpc_baseline_.pool_hits;
+  t.pool_misses = dpc.pool_misses - dpc_baseline_.pool_misses;
   for (const auto& s : stacks_) {
     t.mac_unicast += s->mac->counters().unicast_sent;
     t.mac_broadcast += s->mac->counters().broadcast_sent;

@@ -16,6 +16,7 @@
 #include "harness/multicast_router.h"
 #include "harness/scenario.h"
 #include "mac/csma_mac.h"
+#include "net/data_plane.h"
 #include "phy/channel.h"
 #include "phy/radio.h"
 #include "sim/simulator.h"
@@ -81,6 +82,10 @@ class Network {
 
   ScenarioConfig config_;
   sim::Simulator sim_;
+  // Thread-local data-plane counters at construction; result() reports
+  // the delta this network caused (construction, run and result all
+  // happen on one thread).
+  net::DataPlaneCounters dpc_baseline_;
   std::unique_ptr<mobility::RandomWaypoint> mobility_;
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;

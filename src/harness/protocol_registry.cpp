@@ -70,15 +70,36 @@ const ProtocolEntry* ProtocolRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
-Protocol ProtocolRegistry::parse(std::string_view name) const {
-  if (const ProtocolEntry* e = find(name)) return e->protocol;
+std::string ProtocolRegistry::known_names() const {
   std::string known;
   for (const ProtocolEntry& e : entries_) {
     if (!known.empty()) known += ", ";
     known += e.name;
   }
+  return known;
+}
+
+Protocol ProtocolRegistry::parse(std::string_view name) const {
+  if (const ProtocolEntry* e = find(name)) return e->protocol;
   throw std::invalid_argument("unknown protocol \"" + std::string(name) +
-                              "\" (known: " + known + ")");
+                              "\" (known: " + known_names() + ")");
+}
+
+std::vector<Protocol> ProtocolRegistry::parse_list(std::string_view names) const {
+  std::vector<Protocol> out;
+  std::size_t start = 0;
+  while (start <= names.size()) {
+    const std::size_t comma = names.find(',', start);
+    const std::string_view name =
+        names.substr(start, comma == std::string_view::npos ? comma : comma - start);
+    if (!name.empty()) out.push_back(parse(name));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("empty protocol list (known: " + known_names() + ")");
+  }
+  return out;
 }
 
 const std::string& ProtocolRegistry::name_of(Protocol p) const {

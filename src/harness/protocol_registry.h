@@ -56,6 +56,12 @@ class ProtocolRegistry {
   // Parses a protocol name; throws std::invalid_argument naming the
   // known protocols when it does not resolve.
   [[nodiscard]] Protocol parse(std::string_view name) const;
+  // Parses a comma-separated protocol list ("maodv,flooding"). Empty
+  // segments are skipped; an empty result or any unknown name throws
+  // std::invalid_argument listing the registered names — the bench CLIs
+  // (`--protocols=`) fail fast with that message instead of depending on
+  // downstream registry lookups.
+  [[nodiscard]] std::vector<Protocol> parse_list(std::string_view names) const;
   [[nodiscard]] const std::string& name_of(Protocol p) const;
   [[nodiscard]] std::vector<Protocol> all() const;  // registration order
 
@@ -65,6 +71,9 @@ class ProtocolRegistry {
 
  private:
   ProtocolRegistry();  // registers the built-ins
+
+  // "maodv, maodv_gossip, ..." — the list both error messages carry.
+  [[nodiscard]] std::string known_names() const;
 
   std::vector<ProtocolEntry> entries_;
 };

@@ -19,7 +19,7 @@ CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, const phy::Channel& cha
   radio_.set_listener(this);
 }
 
-bool CsmaMac::send(net::NodeId mac_dst, net::Packet packet) {
+bool CsmaMac::send(net::NodeId mac_dst, net::PacketPtr packet) {
   if (queue_.size() >= params_.queue_limit) {
     ++counters_.queue_drops;
     return false;
@@ -107,7 +107,7 @@ void CsmaMac::start_transmission() {
   assert(state_ == State::contending);
   assert(!radio_.transmitting());
   const Outgoing& out = queue_.front();
-  Frame frame{FrameKind::data, self_, out.dst, next_mac_seq_, out.packet};
+  const Frame frame{FrameKind::data, self_, out.dst, next_mac_seq_, out.packet};
   state_ = State::tx_data;
   if (out.dst.is_broadcast()) {
     ++counters_.broadcast_sent;
@@ -164,7 +164,7 @@ void CsmaMac::give_up_current() {
   ++next_mac_seq_;
   queue_.pop_front();
   state_ = queue_.empty() ? State::idle : State::contending;
-  if (listener_ != nullptr) listener_->on_unicast_failed(out.packet, out.dst);
+  if (listener_ != nullptr) listener_->on_unicast_failed(*out.packet, out.dst);
   if (state_ == State::contending) {
     retries_ = 0;
     cw_ = params_.cw_min;
@@ -212,19 +212,19 @@ void CsmaMac::on_frame_received(const Frame& frame) {
   // Data frame.
   if (frame.mac_dst == self_) {
     send_ack(frame.mac_src, frame.mac_seq);
-    auto [it, fresh] = last_rx_seq_.try_emplace(frame.mac_src, frame.mac_seq);
+    auto [seq, fresh] = last_rx_seq_.try_emplace(frame.mac_src, frame.mac_seq);
     if (!fresh) {
-      if (it->second == frame.mac_seq) {
+      if (*seq == frame.mac_seq) {
         ++counters_.dup_frames_dropped;  // retransmission we already accepted
         return;
       }
-      it->second = frame.mac_seq;
+      *seq = frame.mac_seq;
     }
   } else if (!frame.mac_dst.is_broadcast()) {
     return;  // unicast for somebody else
   }
   ++counters_.delivered_up;
-  if (listener_ != nullptr) listener_->on_packet_received(frame.packet, frame.mac_src);
+  if (listener_ != nullptr) listener_->on_packet_received(*frame.packet, frame.mac_src);
 }
 
 void CsmaMac::send_ack(net::NodeId to, std::uint16_t seq) {

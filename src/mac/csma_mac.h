@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <utility>
 
 #include "mac/frame.h"
 #include "mac/mac_params.h"
+#include "net/data_plane.h"
+#include "net/node_table.h"
 #include "phy/channel.h"
 #include "phy/radio.h"
 #include "sim/rng.h"
@@ -36,9 +38,15 @@ class CsmaMac final : public phy::RadioListener {
 
   void set_listener(MacListener* listener) { listener_ = listener; }
 
-  // Queues a packet for `mac_dst` (a neighbor or broadcast()). Returns
-  // false when the interface queue is full (packet dropped).
-  bool send(net::NodeId mac_dst, net::Packet packet);
+  // Queues a shared packet for `mac_dst` (a neighbor or broadcast()).
+  // Returns false when the interface queue is full (packet dropped). The
+  // same allocation flows through the queue, the frame, and the channel.
+  bool send(net::NodeId mac_dst, net::PacketPtr packet);
+  // Convenience for call sites holding a fresh packet by value: wraps it
+  // in the thread-local pool.
+  bool send(net::NodeId mac_dst, net::Packet packet) {
+    return send(mac_dst, net::PacketPool::local().make(std::move(packet)));
+  }
 
   // Crash support (FaultInjector): drops the interface queue and every
   // retransmission/backoff state, as a power-cycle would. A frame already
@@ -78,7 +86,7 @@ class CsmaMac final : public phy::RadioListener {
 
   struct Outgoing {
     net::NodeId dst;
-    net::Packet packet;
+    net::PacketPtr packet;
   };
 
   void begin_access();
@@ -115,7 +123,7 @@ class CsmaMac final : public phy::RadioListener {
 
   // Last mac_seq accepted per neighbor: drops MAC-level retransmission
   // duplicates (data received, ACK lost, sender retried).
-  std::unordered_map<net::NodeId, std::uint16_t> last_rx_seq_;
+  net::NodeTable<std::uint16_t> last_rx_seq_;
 
   Counters counters_;
 };

@@ -1,9 +1,13 @@
-// Link-layer frame: a packet plus MAC addressing, or a bare ACK.
+// Link-layer frame: a shared immutable packet plus MAC addressing, or a
+// bare ACK. The packet rides as a shared_ptr so one router enqueue flows
+// copy-free through the MAC queue, the channel's shared frame, and every
+// receiver (copy-on-write happens only when a relay mutates ttl/headers).
 #ifndef AG_MAC_FRAME_H
 #define AG_MAC_FRAME_H
 
 #include <cstdint>
 
+#include "net/data_plane.h"
 #include "net/packet.h"
 
 namespace ag::mac {
@@ -15,12 +19,12 @@ struct Frame {
   net::NodeId mac_src;
   net::NodeId mac_dst;       // broadcast() for link broadcasts
   std::uint16_t mac_seq{0};  // per-sender counter: ACK matching + rx dedup
-  net::Packet packet;        // meaningful only for kind == data
+  net::PacketPtr packet;     // meaningful only for kind == data
 
   [[nodiscard]] std::uint32_t wire_bytes() const {
     constexpr std::uint32_t kMacDataOverhead = 34;  // 802.11 hdr 24 + LLC 6 + FCS 4
     constexpr std::uint32_t kAckBytes = 14;
-    return kind == FrameKind::ack ? kAckBytes : kMacDataOverhead + packet.wire_bytes();
+    return kind == FrameKind::ack ? kAckBytes : kMacDataOverhead + packet->wire_bytes();
   }
 };
 

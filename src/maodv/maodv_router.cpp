@@ -189,9 +189,9 @@ bool MaodvRouter::try_answer_join_rreq(const aodv::RreqMsg& rreq, net::NodeId fr
 
 void MaodvRouter::handle_join_rrep(const aodv::RrepMsg& rrep, net::NodeId from) {
   if (rrep.origin == self()) {
-    auto it = joins_.find(rrep.group);
-    if (it == joins_.end()) return;  // late RREP, join already resolved
-    JoinAttempt& attempt = it->second;
+    JoinAttempt* found = joins_.find(rrep.group);
+    if (found == nullptr) return;  // late RREP, join already resolved
+    JoinAttempt& attempt = *found;
     if (observer_ != nullptr && rrep.responder_is_member) {
       observer_->on_member_learned(rrep.group, rrep.responder,
                                    static_cast<std::uint8_t>(rrep.hop_count + 1));
@@ -217,7 +217,7 @@ void MaodvRouter::handle_join_rrep(const aodv::RrepMsg& rrep, net::NodeId from) 
   }
   // Intermediate hop: remember the upstream candidate for this (group,
   // origin) graft and relay toward the origin along the reverse route.
-  grafts_[graft_key(rrep.group, rrep.origin)] =
+  grafts_[pair_key(rrep.group, rrep.origin)] =
       GraftCandidate{from, simulator().now() + mparams_.graft_candidate_life};
   aodv::RouteEntry* back = route_table().find_valid(rrep.origin, simulator().now());
   if (back == nullptr) return;
@@ -232,9 +232,9 @@ void MaodvRouter::handle_join_rrep(const aodv::RrepMsg& rrep, net::NodeId from) 
 }
 
 void MaodvRouter::join_wait_expired(net::GroupId group) {
-  auto it = joins_.find(group);
-  if (it == joins_.end()) return;
-  JoinAttempt& attempt = it->second;
+  JoinAttempt* found = joins_.find(group);
+  if (found == nullptr) return;
+  JoinAttempt& attempt = *found;
   GroupEntry& e = mrt_.get_or_create(group);
 
   if (attempt.best.valid) {
@@ -250,7 +250,7 @@ void MaodvRouter::join_wait_expired(net::GroupId group) {
   // All attempts exhausted.
   const bool was_repair = attempt.repair;
   const bool was_merge = attempt.merge_target.is_valid();
-  joins_.erase(it);
+  joins_.erase(group);
   e.join_state = JoinState::none;
   if (was_merge) return;  // merge failed; stay leader, retry on next GRPH
   if (was_repair) {
@@ -355,8 +355,9 @@ void MaodvRouter::process_mact(const MactMsg& mact, net::NodeId from) {
       if (on_tree_before || e.is_leader) return;  // graft completed here
       if (e.upstream().is_valid()) return;
       // Continue the activation chain toward the tree.
-      auto git = grafts_.find(graft_key(mact.group, mact.origin));
-      if (git == grafts_.end() || git->second.expires < simulator().now()) {
+      const std::uint64_t key = pair_key(mact.group, mact.origin);
+      const GraftCandidate* git = grafts_.find(key);
+      if (git == nullptr || git->expires < simulator().now()) {
         // Candidate expired: we cannot reach the tree. Prune the orphan
         // branch; the joiner will retry.
         send_mact(from, mact.group, self(), MactMsg::Flag::prune);
@@ -364,8 +365,8 @@ void MaodvRouter::process_mact(const MactMsg& mact, net::NodeId from) {
         maybe_self_prune(mact.group);
         return;
       }
-      const net::NodeId up = git->second.via;
-      grafts_.erase(git);
+      const net::NodeId up = git->via;
+      grafts_.erase(key);
       activate_hop(e, up, /*upstream=*/true, 0);
       send_mact(up, mact.group, mact.origin, MactMsg::Flag::join,
                 static_cast<std::uint8_t>(mact.hop_count + 1));
@@ -445,8 +446,8 @@ void MaodvRouter::deactivate_hop(GroupEntry& entry, net::NodeId hop) {
 // ------------------------------------------------------------------- GRPH
 
 void MaodvRouter::emit_group_hellos() {
-  for (auto& [group, e] : mrt_) {
-    if (!e.is_leader) continue;
+  mrt_.for_each([&](net::GroupId group, GroupEntry& e) {
+    if (!e.is_leader) return;
     e.group_seq = e.group_seq.next();
     e.seq_known = true;
     e.last_group_hello = simulator().now();
@@ -460,7 +461,7 @@ void MaodvRouter::emit_group_hellos() {
       GrphMsg beat{group, self(), e.group_seq, 0, true, e.enabled_hops()};
       broadcast_packet(beat, 1);
     }
-  }
+  });
 }
 
 void MaodvRouter::process_tree_beat(const GrphMsg& beat, net::NodeId from) {
@@ -474,11 +475,11 @@ void MaodvRouter::process_tree_beat(const GrphMsg& beat, net::NodeId from) {
     return;
   }
   // Dedup per (leader, seq) so transient cycles cannot echo beats forever.
-  auto& seen = tree_beat_seen_[beat.group];
-  auto [it, inserted] = seen.try_emplace(beat.leader, beat.group_seq);
+  auto [seen, inserted] =
+      tree_beat_seen_.try_emplace(pair_key(beat.group, beat.leader), beat.group_seq);
   if (!inserted) {
-    if (!beat.group_seq.fresher_than(it->second)) return;
-    it->second = beat.group_seq;
+    if (!beat.group_seq.fresher_than(*seen)) return;
+    *seen = beat.group_seq;
   }
   e->leader = beat.leader;
   e->group_seq = beat.group_seq;
@@ -510,11 +511,11 @@ void MaodvRouter::process_grph(const net::Packet& packet, const GrphMsg& grph,
   GroupEntry* e = mrt_.find(grph.group);
 
   // Flood dedup per (group, leader): only fresher sequence numbers pass.
-  auto& per_leader = grph_seen_[grph.group];
-  auto [it, inserted] = per_leader.try_emplace(grph.leader, grph.group_seq);
+  auto [seen, inserted] =
+      grph_seen_.try_emplace(pair_key(grph.group, grph.leader), grph.group_seq);
   if (!inserted) {
-    if (!grph.group_seq.fresher_than(it->second)) return;
-    it->second = grph.group_seq;
+    if (!grph.group_seq.fresher_than(*seen)) return;
+    *seen = grph.group_seq;
   }
   if (e != nullptr && e->on_tree()) {
     if (e->is_leader) {
@@ -548,9 +549,9 @@ void MaodvRouter::initiate_merge(net::GroupId group, net::NodeId other_leader) {
   GroupEntry* e = mrt_.find(group);
   if (e == nullptr || !e->is_leader) return;
   if (e->join_state != JoinState::none) return;
-  auto [it, inserted] = last_merge_attempt_.try_emplace(group, sim::SimTime::zero());
-  if (!inserted && simulator().now() - it->second < mparams_.merge_backoff) return;
-  it->second = simulator().now();
+  auto [last, inserted] = last_merge_attempt_.try_emplace(group, sim::SimTime::zero());
+  if (!inserted && simulator().now() - *last < mparams_.merge_backoff) return;
+  *last = simulator().now();
   ++mcounters_.merges_initiated;
   start_join(group, /*repair=*/false, other_leader);
 }
@@ -559,17 +560,17 @@ void MaodvRouter::check_group_liveness() {
   const sim::Duration limit =
       mparams_.group_hello_interval *
       static_cast<std::int64_t>(mparams_.allowed_group_hello_loss);
-  for (auto& [group, e] : mrt_) {
-    if (e.is_leader) continue;
-    if (e.join_state != JoinState::none) continue;
+  mrt_.for_each([&](net::GroupId group, GroupEntry& e) {
+    if (e.is_leader) return;
+    if (e.join_state != JoinState::none) return;
     // A member that lost its last tree link entirely (failed graft,
     // cascaded prune) must keep trying to rejoin.
     if (e.is_member && !e.on_tree()) {
       start_join(group, /*repair=*/false);
-      continue;
+      return;
     }
-    if (!e.on_tree()) continue;
-    if (simulator().now() - e.last_group_hello <= limit) continue;
+    if (!e.on_tree()) return;
+    if (simulator().now() - e.last_group_hello <= limit) return;
     // The leader went silent: treat as a broken tree. Members repair;
     // pure routers wait to be pruned or repaired through.
     if (e.is_member) {
@@ -581,7 +582,7 @@ void MaodvRouter::check_group_liveness() {
       e.last_group_hello = simulator().now();  // backoff until next sweep
       start_join(group, /*repair=*/true);
     }
-  }
+  });
 }
 
 // ------------------------------------------------------------------- data
@@ -605,10 +606,10 @@ std::uint32_t MaodvRouter::send_multicast(net::GroupId group, std::uint16_t payl
 }
 
 bool MaodvRouter::remember_data(const net::MsgId& id) {
-  if (!seen_data_.insert(id).second) return false;
+  if (!seen_data_.insert(net::msg_key(id))) return false;
   seen_data_order_.push_back(id);
   while (seen_data_order_.size() > mparams_.data_dedup_capacity) {
-    seen_data_.erase(seen_data_order_.front());
+    seen_data_.erase(net::msg_key(seen_data_order_.front()));
     seen_data_order_.pop_front();
   }
   return true;
@@ -628,10 +629,10 @@ void MaodvRouter::process_data(const net::Packet& packet, const net::MulticastDa
     // The sender may wrongly believe we are its tree neighbor (asymmetric
     // state after a one-sided break). Tell it once a second at most; a
     // consistent sender treats the prune as a no-op.
-    const std::uint64_t key = graft_key(data.group, from);
-    auto [it, inserted] = corrective_prune_at_.try_emplace(key, sim::SimTime::zero());
-    if (inserted || simulator().now() - it->second >= sim::Duration::ms(1000)) {
-      it->second = simulator().now();
+    const std::uint64_t key = pair_key(data.group, from);
+    auto [last, inserted] = corrective_prune_at_.try_emplace(key, sim::SimTime::zero());
+    if (inserted || simulator().now() - *last >= sim::Duration::ms(1000)) {
+      *last = simulator().now();
       send_mact(from, data.group, self(), MactMsg::Flag::prune);
     }
     return;
@@ -674,9 +675,9 @@ void MaodvRouter::on_neighbor_lost(net::NodeId neighbor) {
   // Collect first: the repair/prune actions below may erase MRT entries,
   // which would invalidate a live iterator.
   std::vector<std::pair<net::GroupId, bool>> affected;  // (group, was_upstream)
-  for (auto& [group, e] : mrt_) {
+  mrt_.for_each([&](net::GroupId group, GroupEntry& e) {
     MulticastNextHop* h = e.find_hop(neighbor);
-    if (h == nullptr) continue;
+    if (h == nullptr) return;
     const bool was_enabled = h->enabled;
     affected.emplace_back(group, h->enabled && h->upstream);
     deactivate_hop(e, neighbor);
@@ -684,7 +685,7 @@ void MaodvRouter::on_neighbor_lost(net::NodeId neighbor) {
     // one-sided false positive (hello loss under collisions), this makes
     // it mutual so the other side repairs instead of feeding a dead edge.
     if (was_enabled) send_mact(neighbor, group, self(), MactMsg::Flag::prune);
-  }
+  });
   for (const auto& [group, was_upstream] : affected) {
     GroupEntry* e = mrt_.find(group);
     if (e == nullptr) continue;

@@ -10,8 +10,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "aodv/aodv_router.h"
 #include "gossip/routing_adapter.h"
@@ -143,24 +141,26 @@ class MaodvRouter : public aodv::AodvRouter, public harness::MulticastRouter {
                     std::uint16_t member_distance_hint);
   void deactivate_hop(GroupEntry& entry, net::NodeId hop);
   bool remember_data(const net::MsgId& id);
-  [[nodiscard]] static std::uint64_t graft_key(net::GroupId g, net::NodeId origin) {
-    return (static_cast<std::uint64_t>(g.value()) << 32) | origin.value();
+  // Packs a (group, node) pair into a DenseMap key — graft candidates,
+  // GRPH dedup and corrective-prune throttling all index on such pairs.
+  [[nodiscard]] static std::uint64_t pair_key(net::GroupId g, net::NodeId node) {
+    return (static_cast<std::uint64_t>(g.value()) << 32) | node.value();
   }
 
   MaodvParams mparams_;
   MulticastRouteTable mrt_;
   gossip::RouterObserver* observer_{nullptr};
 
-  std::unordered_map<net::GroupId, JoinAttempt> joins_;
-  std::unordered_map<std::uint64_t, GraftCandidate> grafts_;
-  std::unordered_map<net::GroupId, std::uint32_t> next_data_seq_;
-  // GRPH dedup: per group and leader, freshest sequence seen (flood and
+  net::NodeTable<JoinAttempt, net::GroupId> joins_;
+  net::DenseMap<GraftCandidate> grafts_;  // key pair_key(group, origin)
+  net::NodeTable<std::uint32_t, net::GroupId> next_data_seq_;
+  // GRPH dedup: per (group, leader), freshest sequence seen (flood and
   // tree-scoped beats tracked separately).
-  std::unordered_map<net::GroupId, std::unordered_map<net::NodeId, net::SeqNo>> grph_seen_;
-  std::unordered_map<net::GroupId, std::unordered_map<net::NodeId, net::SeqNo>> tree_beat_seen_;
-  std::unordered_map<net::GroupId, sim::SimTime> last_merge_attempt_;
-  std::unordered_map<std::uint64_t, sim::SimTime> corrective_prune_at_;
-  std::unordered_set<net::MsgId> seen_data_;
+  net::DenseMap<net::SeqNo> grph_seen_;
+  net::DenseMap<net::SeqNo> tree_beat_seen_;
+  net::NodeTable<sim::SimTime, net::GroupId> last_merge_attempt_;
+  net::DenseMap<sim::SimTime> corrective_prune_at_;
+  net::DenseSet seen_data_;
   std::deque<net::MsgId> seen_data_order_;
   sim::PeriodicTimer grph_timer_;
   sim::PeriodicTimer liveness_timer_;

@@ -56,19 +56,15 @@ void GroupEntry::clear_upstream_flags() {
 }
 
 GroupEntry& MulticastRouteTable::get_or_create(net::GroupId group) {
-  auto [it, inserted] = entries_.try_emplace(group);
-  if (inserted) it->second.group = group;
-  return it->second;
+  auto [entry, inserted] = entries_.try_emplace(group);
+  if (inserted) entry->group = group;
+  return *entry;
 }
 
-GroupEntry* MulticastRouteTable::find(net::GroupId group) {
-  auto it = entries_.find(group);
-  return it == entries_.end() ? nullptr : &it->second;
-}
+GroupEntry* MulticastRouteTable::find(net::GroupId group) { return entries_.find(group); }
 
 const GroupEntry* MulticastRouteTable::find(net::GroupId group) const {
-  auto it = entries_.find(group);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.find(group);
 }
 
 }  // namespace ag::maodv

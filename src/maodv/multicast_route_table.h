@@ -5,10 +5,10 @@
 #define AG_MAODV_MULTICAST_ROUTE_TABLE_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/ids.h"
+#include "net/node_table.h"
 #include "sim/time.h"
 
 namespace ag::maodv {
@@ -66,12 +66,16 @@ class MulticastRouteTable {
   // Crash support: forget every group (state wipe on reboot).
   void clear() { entries_.clear(); }
 
-  [[nodiscard]] auto begin() { return entries_.begin(); }
-  [[nodiscard]] auto end() { return entries_.end(); }
+  // Visits groups in ascending id order; f(net::GroupId, GroupEntry&).
+  // The callback must not create new groups (see net::NodeTable).
+  template <typename F>
+  void for_each(F&& f) {
+    entries_.for_each(std::forward<F>(f));
+  }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
-  std::unordered_map<net::GroupId, GroupEntry> entries_;
+  net::NodeTable<GroupEntry, net::GroupId> entries_;
 };
 
 }  // namespace ag::maodv

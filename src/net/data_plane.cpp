@@ -1,0 +1,62 @@
+#include "net/data_plane.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ag::net {
+
+bool dense_tables_enabled() {
+  const char* v = std::getenv("AG_DENSE_TABLES");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+DataPlaneCounters& data_plane_counters() {
+  thread_local DataPlaneCounters counters;
+  return counters;
+}
+
+PacketPool& PacketPool::local() {
+  thread_local PacketPool pool;
+  return pool;
+}
+
+PacketPool::~PacketPool() {
+  for (Packet* p : free_) delete p;
+}
+
+void PacketPool::clear() {
+  for (Packet* p : free_) delete p;
+  free_.clear();
+}
+
+PacketPtr PacketPool::make(Packet&& packet) {
+  DataPlaneCounters& c = data_plane_counters();
+  Packet* raw;
+  if (!free_.empty()) {
+    ++c.pool_hits;
+    raw = free_.back();
+    free_.pop_back();
+    *raw = std::move(packet);
+  } else {
+    ++c.pool_misses;
+    raw = new Packet(std::move(packet));
+  }
+  return PacketPtr{raw, &PacketPool::recycle};
+}
+
+void PacketPool::recycle(const Packet* packet) {
+  // Packets live and die on the thread that simulates them, so the local
+  // pool here is the one that handed the slab out (or an equally good
+  // free list on whatever thread drops the last reference).
+  PacketPool& pool = local();
+  auto* raw = const_cast<Packet*>(packet);
+  if (pool.free_.size() >= kMaxFree) {
+    delete raw;
+    return;
+  }
+  pool.free_.push_back(raw);
+}
+
+}  // namespace ag::net

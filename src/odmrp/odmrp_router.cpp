@@ -31,12 +31,12 @@ void OdmrpRouter::reset() {
   query_seen_.clear();
   // Per-group soft state is wiped, but data/query sequence counters
   // survive: see harness::MulticastRouter::reset().
-  for (auto& [group, gs] : groups_) {
+  groups_.for_each([](net::GroupId, GroupState& gs) {
     GroupState fresh;
     fresh.next_data_seq = gs.next_data_seq;
     fresh.next_query_seq = gs.next_query_seq;
     gs = std::move(fresh);
-  }
+  });
   reset_unicast_state();
 }
 
@@ -54,18 +54,18 @@ OdmrpRouter::GroupState& OdmrpRouter::state_for(net::GroupId group) {
 }
 
 bool OdmrpRouter::is_forwarding(net::GroupId group) const {
-  auto it = groups_.find(group);
-  return it != groups_.end() && it->second.forwarding_until >= simulator().now();
+  const GroupState* gs = groups_.find(group);
+  return gs != nullptr && gs->forwarding_until >= simulator().now();
 }
 
 std::vector<net::NodeId> OdmrpRouter::mesh_neighbors(net::GroupId group) const {
   std::vector<net::NodeId> out;
-  auto it = groups_.find(group);
-  if (it == groups_.end()) return out;
+  const GroupState* gs = groups_.find(group);
+  if (gs == nullptr) return out;
   const sim::SimTime now = simulator().now();
-  for (const auto& [peer, until] : it->second.mesh_peers) {
+  gs->mesh_peers.for_each([&](net::NodeId peer, const sim::SimTime& until) {
     if (until >= now) out.push_back(peer);
-  }
+  });
   return out;
 }
 
@@ -87,19 +87,19 @@ std::uint8_t OdmrpRouter::route_hops(net::NodeId dest) const {
 // ------------------------------------------------------------- membership
 
 void OdmrpRouter::join_group(net::GroupId group) {
-  if (!members_.insert(group).second) return;
+  if (!members_.insert(group)) return;
   GroupState& gs = state_for(group);
   gs.member = true;
   if (observer_ != nullptr) observer_->on_self_membership_changed(group, true);
   // Answer any queries already flooding so the mesh reaches us quickly.
-  for (const auto& [source, path] : gs.sources) {
-    (void)path;
-    send_reply(group, gs, source);
-  }
+  std::vector<net::NodeId> sources;
+  gs.sources.for_each(
+      [&](net::NodeId source, const GroupState::SourcePath&) { sources.push_back(source); });
+  for (net::NodeId source : sources) send_reply(group, gs, source);
 }
 
 void OdmrpRouter::leave_group(net::GroupId group) {
-  if (members_.erase(group) == 0) return;
+  if (!members_.erase(group)) return;
   GroupState& gs = state_for(group);
   gs.member = false;
   if (observer_ != nullptr) observer_->on_self_membership_changed(group, false);
@@ -131,28 +131,24 @@ std::uint32_t OdmrpRouter::send_multicast(net::GroupId group, std::uint16_t payl
 
 void OdmrpRouter::refresh_tick() {
   const sim::SimTime now = simulator().now();
-  for (auto& [group, gs] : groups_) {
+  groups_.for_each([&](net::GroupId group, GroupState& gs) {
     expire_soft_state(group, gs);
     const bool active_source = gs.last_data_sent != sim::SimTime::zero() &&
                                now - gs.last_data_sent <= oparams_.source_linger;
-    if (!active_source) continue;
+    if (!active_source) return;
     JoinQueryMsg query{group, self(), gs.next_query_seq++, 0};
     ++ocounters_.queries_sent;
     broadcast_packet(query, oparams_.query_ttl);
-  }
+  });
 }
 
 void OdmrpRouter::expire_soft_state(net::GroupId group, GroupState& gs) {
   const sim::SimTime now = simulator().now();
-  for (auto it = gs.mesh_peers.begin(); it != gs.mesh_peers.end();) {
-    if (it->second < now) {
-      const net::NodeId peer = it->first;
-      it = gs.mesh_peers.erase(it);
-      if (observer_ != nullptr) observer_->on_tree_neighbor_removed(group, peer);
-    } else {
-      ++it;
-    }
-  }
+  gs.mesh_peers.erase_if([&](net::NodeId peer, sim::SimTime& until) {
+    if (until >= now) return false;
+    if (observer_ != nullptr) observer_->on_tree_neighbor_removed(group, peer);
+    return true;
+  });
 }
 
 // ------------------------------------------------------------- mesh build
@@ -160,11 +156,11 @@ void OdmrpRouter::expire_soft_state(net::GroupId group, GroupState& gs) {
 void OdmrpRouter::process_query(const net::Packet& packet, const JoinQueryMsg& query,
                                 net::NodeId from) {
   if (query.source == self()) return;
-  auto [it, inserted] =
+  auto [seen, inserted] =
       query_seen_.try_emplace(query_key(query.group, query.source), query.query_seq);
   if (!inserted) {
-    if (query.query_seq <= it->second) return;  // stale or duplicate flood copy
-    it->second = query.query_seq;
+    if (query.query_seq <= *seen) return;  // stale or duplicate flood copy
+    *seen = query.query_seq;
   }
   GroupState& gs = state_for(query.group);
   auto& path = gs.sources[query.source];
@@ -186,9 +182,9 @@ void OdmrpRouter::process_query(const net::Packet& packet, const JoinQueryMsg& q
 
 void OdmrpRouter::send_reply(net::GroupId group, GroupState& gs, net::NodeId source) {
   if (source == self()) return;
-  auto it = gs.sources.find(source);
-  if (it == gs.sources.end()) return;
-  GroupState::SourcePath& path = it->second;
+  GroupState::SourcePath* found = gs.sources.find(source);
+  if (found == nullptr) return;
+  GroupState::SourcePath& path = *found;
   if (path.replied_seq >= path.query_seq) return;  // already answered this round
   if (!path.upstream.is_valid()) return;
   path.replied_seq = path.query_seq;
@@ -215,14 +211,14 @@ void OdmrpRouter::process_reply(const JoinReplyMsg& reply, net::NodeId from) {
     note_mesh_peer(reply.group, gs, from);
     if (entry.source == self()) continue;  // the chain reached the source
     // Propagate the reply toward the source along our own reverse path.
-    auto it = gs.sources.find(entry.source);
-    if (it == gs.sources.end() || !it->second.upstream.is_valid()) continue;
-    if (it->second.replied_seq >= entry.query_seq) continue;
-    it->second.replied_seq = entry.query_seq;
+    GroupState::SourcePath* path = gs.sources.find(entry.source);
+    if (path == nullptr || !path->upstream.is_valid()) continue;
+    if (path->replied_seq >= entry.query_seq) continue;
+    path->replied_seq = entry.query_seq;
     JoinReplyMsg fwd;
     fwd.group = reply.group;
     fwd.sender = self();
-    fwd.entries.push_back({entry.source, it->second.upstream, entry.query_seq});
+    fwd.entries.push_back({entry.source, path->upstream, entry.query_seq});
     ++ocounters_.replies_sent;
     broadcast_packet(fwd, 1);
   }
@@ -231,9 +227,9 @@ void OdmrpRouter::process_reply(const JoinReplyMsg& reply, net::NodeId from) {
 void OdmrpRouter::note_mesh_peer(net::GroupId group, GroupState& gs, net::NodeId peer) {
   if (peer == self()) return;
   const auto until = simulator().now() + oparams_.fg_timeout;
-  auto [it, inserted] = gs.mesh_peers.try_emplace(peer, until);
+  auto [expires, inserted] = gs.mesh_peers.try_emplace(peer, until);
   if (!inserted) {
-    it->second = until;
+    *expires = until;
     return;
   }
   if (observer_ != nullptr) observer_->on_tree_neighbor_added(group, peer, 0);
@@ -242,10 +238,10 @@ void OdmrpRouter::note_mesh_peer(net::GroupId group, GroupState& gs, net::NodeId
 // -------------------------------------------------------------- data path
 
 bool OdmrpRouter::remember_data(const net::MsgId& id) {
-  if (!seen_data_.insert(id).second) return false;
+  if (!seen_data_.insert(net::msg_key(id))) return false;
   seen_data_order_.push_back(id);
   while (seen_data_order_.size() > oparams_.data_dedup_capacity) {
-    seen_data_.erase(seen_data_order_.front());
+    seen_data_.erase(net::msg_key(seen_data_order_.front()));
     seen_data_order_.pop_front();
   }
   return true;

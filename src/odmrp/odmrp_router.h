@@ -16,13 +16,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "aodv/aodv_router.h"
 #include "gossip/routing_adapter.h"
 #include "harness/multicast_router.h"
 #include "net/data.h"
+#include "net/dense_map.h"
+#include "net/node_table.h"
 #include "odmrp/messages.h"
 #include "odmrp/params.h"
 
@@ -96,9 +96,9 @@ class OdmrpRouter final : public aodv::AodvRouter, public harness::MulticastRout
       net::NodeId upstream{net::NodeId::invalid()};
       std::uint32_t replied_seq{0};  // last query answered with a JR
     };
-    std::unordered_map<net::NodeId, SourcePath> sources;
+    net::NodeTable<SourcePath> sources;
     sim::SimTime forwarding_until;               // FG_FLAG soft state
-    std::unordered_map<net::NodeId, sim::SimTime> mesh_peers;  // for gossip walks
+    net::NodeTable<sim::SimTime> mesh_peers;  // for gossip walks
     // Source-side state.
     std::uint32_t next_data_seq{0};
     std::uint32_t next_query_seq{1};
@@ -119,12 +119,12 @@ class OdmrpRouter final : public aodv::AodvRouter, public harness::MulticastRout
 
   OdmrpParams oparams_;
   gossip::RouterObserver* observer_{nullptr};
-  std::unordered_set<net::GroupId> members_;
-  std::unordered_map<net::GroupId, GroupState> groups_;
-  std::unordered_set<net::MsgId> seen_data_;
+  net::IdSet<net::GroupId> members_;
+  net::NodeTable<GroupState, net::GroupId> groups_;
+  net::DenseSet seen_data_;
   std::deque<net::MsgId> seen_data_order_;
   // Flood dedup for queries: (group, source) -> freshest query_seq.
-  std::unordered_map<std::uint64_t, std::uint32_t> query_seen_;
+  net::DenseMap<std::uint32_t> query_seen_;
   sim::PeriodicTimer refresh_timer_;
   OdmrpCounters ocounters_;
 };

@@ -26,9 +26,49 @@ void EventQueue::release_slot(std::uint32_t slot) const {
   free_head_ = slot;
 }
 
+// --------------------------------------------------- 4-ary heap primitives
+// Hole-based sifting: move entries into the hole and place the carried
+// entry once at its final position, instead of three-move swaps.
+
+void EventQueue::heap_push(Entry entry) const {
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::heap_pop() const {
+  assert(!heap_.empty());
+  const Entry carried = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], carried)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = carried;
+}
+
+// ------------------------------------------------------------- public API
+
 EventId EventQueue::schedule(SimTime at, Action action) {
   const std::uint32_t slot = acquire_slot(std::move(action));
-  heap_.push(Entry{at, next_seq_++, slot});
+  heap_push(Entry{at, (next_seq_++ << kSlotBits) | slot});
   ++live_count_;
   // Slot indices are offset by one so a packed id is never 0 (invalid).
   return EventId{(slots_[slot].generation << kSlotBits) | (slot + 1)};
@@ -50,26 +90,38 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::drop_cancelled_front() const {
-  while (!heap_.empty() && slots_[heap_.top().slot].cancelled) {
-    release_slot(heap_.top().slot);
-    heap_.pop();
+  while (!heap_.empty() && slots_[heap_.front().slot()].cancelled) {
+    release_slot(heap_.front().slot());
+    heap_pop();
   }
 }
 
 SimTime EventQueue::next_time() const {
   drop_cancelled_front();
-  return heap_.empty() ? SimTime::max() : heap_.top().at;
+  return heap_.empty() ? SimTime::max() : heap_.front().at;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_front();
   assert(!heap_.empty());
-  const Entry top = heap_.top();
-  Fired fired{top.at, std::move(slots_[top.slot].action)};
-  release_slot(top.slot);
-  heap_.pop();
+  const Entry top = heap_.front();
+  Fired fired{top.at, std::move(slots_[top.slot()].action)};
+  release_slot(top.slot());
+  heap_pop();
   --live_count_;
   return fired;
+}
+
+bool EventQueue::pop_if_at_or_before(SimTime until, Fired& out) {
+  drop_cancelled_front();
+  if (heap_.empty() || heap_.front().at > until) return false;
+  const Entry top = heap_.front();
+  out.at = top.at;
+  out.action = std::move(slots_[top.slot()].action);
+  release_slot(top.slot());
+  heap_pop();
+  --live_count_;
+  return true;
 }
 
 }  // namespace ag::sim

@@ -16,8 +16,8 @@ EventId Simulator::schedule_after(Duration delay, EventQueue::Action action) {
 
 std::size_t Simulator::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= until) {
-    auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  while (queue_.pop_if_at_or_before(until, fired)) {
     now_ = fired.at;
     fired.action();
     ++n;

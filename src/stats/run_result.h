@@ -47,6 +47,13 @@ struct NetworkTotals {
   // Simulator events executed over the run (the denominator of the
   // events/sec throughput the scale bench reports).
   std::uint64_t sim_events{0};
+  // Data-plane work (net::DataPlaneCounters, diffed per run): logical
+  // NodeTable/DenseMap operations and packet-pool allocation behaviour.
+  // Counted at the container API level, so the dense and AG_DENSE_TABLES
+  // =off reference backends report identical numbers.
+  std::uint64_t table_probes{0};
+  std::uint64_t pool_hits{0};
+  std::uint64_t pool_misses{0};
   std::uint64_t mac_unicast{0};
   std::uint64_t mac_broadcast{0};
   std::uint64_t mac_collisions{0};

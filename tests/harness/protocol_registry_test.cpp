@@ -32,6 +32,40 @@ TEST(ProtocolRegistry, StringLookupRoundTrips) {
   EXPECT_GE(reg.all().size(), 5u);
 }
 
+TEST(ProtocolRegistry, ParseListSplitsAndSkipsEmptySegments) {
+  const ProtocolRegistry& reg = ProtocolRegistry::instance();
+  const std::vector<Protocol> both = reg.parse_list("maodv_gossip,flooding");
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0], Protocol::maodv_gossip);
+  EXPECT_EQ(both[1], Protocol::flooding);
+  // Stray commas (trailing, doubled) are tolerated, as the CLI always has.
+  const std::vector<Protocol> one = reg.parse_list(",odmrp,");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], Protocol::odmrp);
+}
+
+TEST(ProtocolRegistry, ParseListRejectsUnknownNamesWithTheRegisteredList) {
+  const ProtocolRegistry& reg = ProtocolRegistry::instance();
+  try {
+    (void)reg.parse_list("maodv,no_such_protocol");
+    FAIL() << "parse_list must throw on unknown names";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_protocol"), std::string::npos);
+    // Every registered name must be in the message — that is what makes
+    // the bench CLI failure actionable.
+    for (const Protocol p : reg.all()) {
+      EXPECT_NE(what.find(reg.name_of(p)), std::string::npos) << reg.name_of(p);
+    }
+  }
+}
+
+TEST(ProtocolRegistry, ParseListRejectsEmptyLists) {
+  const ProtocolRegistry& reg = ProtocolRegistry::instance();
+  EXPECT_THROW((void)reg.parse_list(""), std::invalid_argument);
+  EXPECT_THROW((void)reg.parse_list(",,"), std::invalid_argument);
+}
+
 TEST(ProtocolRegistry, UnknownNameIsAnError) {
   const ProtocolRegistry& reg = ProtocolRegistry::instance();
   EXPECT_EQ(reg.find("no_such_protocol"), nullptr);

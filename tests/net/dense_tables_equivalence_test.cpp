@@ -1,0 +1,106 @@
+// Whole-run equivalence of the dense data-plane tables against the
+// AG_DENSE_TABLES=off std::map reference backend: both iterate in
+// ascending key order, so full simulations — including churn runs that
+// exercise reset/erase paths — must be bit-identical. This is the suite
+// the BENCH_fig2/BENCH_churn byte-identity claim rests on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "net/data_plane.h"
+#include "stats/run_result.h"
+
+namespace ag::net {
+namespace {
+
+harness::ScenarioConfig short_scenario() {
+  harness::ScenarioConfig c;
+  c.node_count = 40;
+  c.duration = sim::SimTime::seconds(40.0);
+  c.workload.start = sim::SimTime::seconds(10.0);
+  c.workload.end = sim::SimTime::seconds(30.0);
+  return c;
+}
+
+stats::RunResult run_with_mode(const harness::ScenarioConfig& config, bool dense) {
+  if (dense) {
+    unsetenv("AG_DENSE_TABLES");
+  } else {
+    setenv("AG_DENSE_TABLES", "off", 1);
+  }
+  EXPECT_EQ(dense_tables_enabled(), dense);
+  stats::RunResult r = harness::run_scenario(config);
+  unsetenv("AG_DENSE_TABLES");
+  return r;
+}
+
+void expect_identical_runs(const stats::RunResult& a, const stats::RunResult& b) {
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    EXPECT_EQ(a.members[i].received, b.members[i].received) << "member " << i;
+    EXPECT_EQ(a.members[i].via_gossip, b.members[i].via_gossip) << "member " << i;
+    EXPECT_EQ(a.members[i].eligible, b.members[i].eligible) << "member " << i;
+    EXPECT_DOUBLE_EQ(a.members[i].mean_latency_s, b.members[i].mean_latency_s)
+        << "member " << i;
+  }
+  EXPECT_EQ(a.totals.channel_transmissions, b.totals.channel_transmissions);
+  EXPECT_EQ(a.totals.phy_deliveries, b.totals.phy_deliveries);
+  EXPECT_EQ(a.totals.sim_events, b.totals.sim_events);
+  EXPECT_EQ(a.totals.mac_unicast, b.totals.mac_unicast);
+  EXPECT_EQ(a.totals.mac_broadcast, b.totals.mac_broadcast);
+  EXPECT_EQ(a.totals.mac_collisions, b.totals.mac_collisions);
+  EXPECT_EQ(a.totals.data_forwarded, b.totals.data_forwarded);
+  EXPECT_EQ(a.totals.gossip_walks, b.totals.gossip_walks);
+  EXPECT_EQ(a.totals.gossip_replies, b.totals.gossip_replies);
+  EXPECT_EQ(a.totals.nm_updates, b.totals.nm_updates);
+  // The work counters are logical-op counts, mode-independent by design;
+  // the pool split is exact too because every Network starts from a cold
+  // pool (see PacketPool::clear).
+  EXPECT_EQ(a.totals.table_probes, b.totals.table_probes);
+  EXPECT_EQ(a.totals.pool_hits, b.totals.pool_hits);
+  EXPECT_EQ(a.totals.pool_misses, b.totals.pool_misses);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio(), b.delivery_ratio());
+}
+
+TEST(DenseTablesEquivalence, WholeRunBitIdenticalToReferenceBackend) {
+  for (const std::uint64_t seed : {1ULL, 2ULL}) {
+    const stats::RunResult dense = run_with_mode(short_scenario().with_seed(seed), true);
+    const stats::RunResult reference =
+        run_with_mode(short_scenario().with_seed(seed), false);
+    expect_identical_runs(dense, reference);
+  }
+}
+
+TEST(DenseTablesEquivalence, ChurnRunBitIdenticalToReferenceBackend) {
+  // Churn exercises the erase/reset paths (crash wipes, membership
+  // leaves, partition suppression) in every migrated table.
+  harness::ScenarioConfig base = short_scenario();
+  base.faults.spec.churn_per_min = 3.0;
+  base.faults.spec.crash_fraction = 0.2;
+  base.faults.spec.partition_duration_s = 8.0;
+
+  const stats::RunResult dense = run_with_mode(base.with_seed(5), true);
+  const stats::RunResult reference = run_with_mode(base.with_seed(5), false);
+  EXPECT_GT(dense.faults.crashes + dense.faults.leaves + dense.faults.partitions, 0u);
+  expect_identical_runs(dense, reference);
+}
+
+TEST(DenseTablesEquivalence, EveryProtocolBitIdentical) {
+  // The flood and ODMRP stacks migrated different tables than MAODV;
+  // cover each substrate end to end (short runs keep this suite fast).
+  for (const harness::Protocol p :
+       {harness::Protocol::maodv_gossip, harness::Protocol::odmrp_gossip,
+        harness::Protocol::flooding}) {
+    harness::ScenarioConfig c = short_scenario();
+    c.duration = sim::SimTime::seconds(25.0);
+    c.workload.end = sim::SimTime::seconds(20.0);
+    c.with_protocol(p).with_seed(3);
+    expect_identical_runs(run_with_mode(c, true), run_with_mode(c, false));
+  }
+}
+
+}  // namespace
+}  // namespace ag::net

@@ -1,0 +1,211 @@
+// The dense data-plane containers: NodeTable/IdSet (flat, bitmap-backed)
+// and DenseMap/DenseSet (open addressing), in both the dense and the
+// AG_DENSE_TABLES=off std::map reference modes — same observable
+// behaviour, ascending iteration, probe counters, and the packet pool's
+// slab reuse.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/data_plane.h"
+#include "net/dense_map.h"
+#include "net/node_table.h"
+
+namespace ag::net {
+namespace {
+
+// Runs `body` once with dense tables on and once with the reference
+// backend, restoring the environment afterwards.
+template <typename F>
+void in_both_modes(F&& body) {
+  unsetenv("AG_DENSE_TABLES");
+  ASSERT_TRUE(dense_tables_enabled());
+  body("dense");
+  setenv("AG_DENSE_TABLES", "off", 1);
+  ASSERT_FALSE(dense_tables_enabled());
+  body("reference");
+  unsetenv("AG_DENSE_TABLES");
+}
+
+TEST(NodeTable, InsertFindEraseRoundTrip) {
+  in_both_modes([](const std::string& mode) {
+    NodeTable<int> t;
+    EXPECT_TRUE(t.empty()) << mode;
+    EXPECT_EQ(t.find(NodeId{3}), nullptr) << mode;
+
+    t[NodeId{3}] = 30;
+    auto [v, inserted] = t.try_emplace(NodeId{100}, 7);
+    EXPECT_TRUE(inserted) << mode;
+    EXPECT_EQ(*v, 7) << mode;
+    auto [again, second] = t.try_emplace(NodeId{100}, 99);
+    EXPECT_FALSE(second) << mode;
+    EXPECT_EQ(*again, 7) << mode << ": try_emplace must not clobber";
+
+    EXPECT_EQ(t.size(), 2u) << mode;
+    ASSERT_NE(t.find(NodeId{3}), nullptr) << mode;
+    EXPECT_EQ(*t.find(NodeId{3}), 30) << mode;
+    EXPECT_TRUE(t.erase(NodeId{3})) << mode;
+    EXPECT_FALSE(t.erase(NodeId{3})) << mode << ": double erase";
+    EXPECT_EQ(t.size(), 1u) << mode;
+    t.clear();
+    EXPECT_TRUE(t.empty()) << mode;
+  });
+}
+
+TEST(NodeTable, IterationIsAscendingInBothModes) {
+  in_both_modes([](const std::string& mode) {
+    NodeTable<int> t;
+    // Insert deliberately out of order, spanning several bitmap words.
+    for (const std::uint32_t k : {200u, 5u, 130u, 0u, 64u, 63u, 65u}) {
+      t[NodeId{k}] = static_cast<int>(k);
+    }
+    std::vector<std::uint32_t> keys;
+    t.for_each([&](NodeId id, int& v) {
+      keys.push_back(id.value());
+      EXPECT_EQ(v, static_cast<int>(id.value())) << mode;
+    });
+    EXPECT_EQ(keys, (std::vector<std::uint32_t>{0, 5, 63, 64, 65, 130, 200})) << mode;
+  });
+}
+
+TEST(NodeTable, EraseIfVisitsAscendingAndErases) {
+  in_both_modes([](const std::string& mode) {
+    NodeTable<int> t;
+    for (std::uint32_t k = 0; k < 40; ++k) t[NodeId{k}] = static_cast<int>(k);
+    std::vector<std::uint32_t> visited;
+    const std::size_t erased = t.erase_if([&](NodeId id, int& v) {
+      visited.push_back(id.value());
+      return v % 2 == 0;
+    });
+    EXPECT_EQ(erased, 20u) << mode;
+    EXPECT_EQ(t.size(), 20u) << mode;
+    EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end())) << mode;
+    EXPECT_FALSE(t.contains(NodeId{0})) << mode;
+    EXPECT_TRUE(t.contains(NodeId{1})) << mode;
+  });
+}
+
+TEST(NodeTable, ErasedSlotsReleaseCapturedState) {
+  // erase() must reset the slot to T{} so captured resources free eagerly.
+  NodeTable<std::vector<int>> t;
+  t[NodeId{1}] = std::vector<int>(1000, 7);
+  EXPECT_TRUE(t.erase(NodeId{1}));
+  EXPECT_TRUE(t[NodeId{1}].empty());  // re-created slot starts from T{}
+}
+
+TEST(IdSet, SetSemantics) {
+  in_both_modes([](const std::string& mode) {
+    IdSet<GroupId> s;
+    EXPECT_TRUE(s.insert(GroupId{1})) << mode;
+    EXPECT_FALSE(s.insert(GroupId{1})) << mode;
+    EXPECT_TRUE(s.contains(GroupId{1})) << mode;
+    EXPECT_EQ(s.size(), 1u) << mode;
+    EXPECT_TRUE(s.erase(GroupId{1})) << mode;
+    EXPECT_FALSE(s.erase(GroupId{1})) << mode;
+    EXPECT_TRUE(s.empty()) << mode;
+  });
+}
+
+TEST(DenseMap, InsertFindEraseWithCollisionsAndTombstones) {
+  in_both_modes([](const std::string& mode) {
+    DenseMap<int> m;
+    // Enough keys to force several growth rounds past the 16-slot start.
+    for (std::uint64_t k = 0; k < 500; ++k) {
+      auto [v, inserted] = m.try_emplace(k * 0x9e3779b9ULL, static_cast<int>(k));
+      EXPECT_TRUE(inserted) << mode;
+      EXPECT_EQ(*v, static_cast<int>(k)) << mode;
+    }
+    EXPECT_EQ(m.size(), 500u) << mode;
+    for (std::uint64_t k = 0; k < 500; ++k) {
+      ASSERT_NE(m.find(k * 0x9e3779b9ULL), nullptr) << mode << " key " << k;
+      EXPECT_EQ(*m.find(k * 0x9e3779b9ULL), static_cast<int>(k)) << mode;
+    }
+    // Erase half (tombstones), then re-insert and look everything up again:
+    // tombstone reuse and the rebuild path must not lose entries.
+    for (std::uint64_t k = 0; k < 500; k += 2) {
+      EXPECT_TRUE(m.erase(k * 0x9e3779b9ULL)) << mode;
+    }
+    EXPECT_EQ(m.size(), 250u) << mode;
+    for (std::uint64_t k = 500; k < 900; ++k) {
+      m.try_emplace(k * 0x9e3779b9ULL, static_cast<int>(k));
+    }
+    for (std::uint64_t k = 1; k < 500; k += 2) {
+      ASSERT_NE(m.find(k * 0x9e3779b9ULL), nullptr) << mode << " key " << k;
+    }
+    for (std::uint64_t k = 0; k < 500; k += 2) {
+      EXPECT_EQ(m.find(k * 0x9e3779b9ULL), nullptr) << mode;
+    }
+  });
+}
+
+TEST(DenseMap, EraseIfPurgesMatchingEntries) {
+  in_both_modes([](const std::string& mode) {
+    DenseMap<int> m;
+    for (std::uint64_t k = 0; k < 100; ++k) m[k] = static_cast<int>(k);
+    const std::size_t erased =
+        m.erase_if([](std::uint64_t, int& v) { return v >= 50; });
+    EXPECT_EQ(erased, 50u) << mode;
+    EXPECT_EQ(m.size(), 50u) << mode;
+    EXPECT_TRUE(m.contains(0)) << mode;
+    EXPECT_FALSE(m.contains(99)) << mode;
+  });
+}
+
+TEST(DenseSet, MsgIdKeysRoundTrip) {
+  DenseSet s;
+  const MsgId a{NodeId{7}, 3};
+  const MsgId b{NodeId{3}, 7};  // must not collide with a
+  EXPECT_NE(msg_key(a), msg_key(b));
+  EXPECT_TRUE(s.insert(msg_key(a)));
+  EXPECT_FALSE(s.insert(msg_key(a)));
+  EXPECT_FALSE(s.contains(msg_key(b)));
+  EXPECT_TRUE(s.erase(msg_key(a)));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(DataPlaneCounters, TableOpsCountIdenticallyInBothModes) {
+  // The probe counter counts logical operations, so dense and reference
+  // backends must report the same number for the same op sequence.
+  std::vector<std::uint64_t> per_mode;
+  in_both_modes([&](const std::string&) {
+    const std::uint64_t before = data_plane_counters().table_probes;
+    NodeTable<int> t;
+    DenseMap<int> m;
+    for (std::uint32_t k = 0; k < 50; ++k) {
+      t[NodeId{k}] = 1;
+      (void)t.find(NodeId{k});
+      m[k] = 1;
+      (void)m.find(k);
+    }
+    t.erase(NodeId{0});
+    m.erase(0);
+    per_mode.push_back(data_plane_counters().table_probes - before);
+  });
+  ASSERT_EQ(per_mode.size(), 2u);
+  EXPECT_EQ(per_mode[0], per_mode[1]);
+  EXPECT_GT(per_mode[0], 0u);
+}
+
+TEST(PacketPool, ReusesSlabsAndCountsHits) {
+  PacketPool& pool = PacketPool::local();
+  DataPlaneCounters& c = data_plane_counters();
+  Packet p;
+  p.src = NodeId{1};
+  p.payload = MulticastData{GroupId{1}, NodeId{1}, 0, 64, {}, 0};
+
+  PacketPtr first = pool.make(Packet{p});
+  const Packet* slab = first.get();
+  first.reset();  // slab returns to the free list
+  ASSERT_GT(pool.free_count(), 0u);
+
+  const std::uint64_t hits_before = c.pool_hits;
+  PacketPtr second = pool.make(Packet{p});
+  EXPECT_EQ(second.get(), slab) << "slab must be recycled LIFO";
+  EXPECT_EQ(c.pool_hits, hits_before + 1);
+  EXPECT_EQ(second->src, NodeId{1});
+}
+
+}  // namespace
+}  // namespace ag::net

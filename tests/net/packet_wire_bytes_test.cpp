@@ -1,0 +1,103 @@
+// Exhaustive wire-size coverage of every Payload alternative: the sizing
+// visitor in packet.cpp has no catch-all, so a new message type without a
+// sizing lambda already breaks the build — this suite additionally pins
+// that every alternative reports a sane on-air size and that the
+// variable-length messages actually grow with their contents, so a new
+// type can't ship with a placeholder size either.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <variant>
+
+#include "mac/frame.h"
+#include "net/data_plane.h"
+#include "net/packet.h"
+
+namespace ag::net {
+namespace {
+
+constexpr std::uint32_t kIpHeaderBytes = 20;
+
+// Instantiates every variant alternative (default-constructed) and checks
+// the packet reports the IP header plus a non-empty payload encoding.
+template <std::size_t I = 0>
+void check_every_alternative() {
+  if constexpr (I < std::variant_size_v<Payload>) {
+    using Alternative = std::variant_alternative_t<I, Payload>;
+    Packet p;
+    p.payload = Alternative{};
+    EXPECT_GT(p.wire_bytes(), kIpHeaderBytes)
+        << "Payload alternative " << I << " encodes to zero bytes";
+    check_every_alternative<I + 1>();
+  }
+}
+
+TEST(PacketWireBytes, EveryPayloadAlternativeHasANonZeroEncoding) {
+  check_every_alternative();
+}
+
+TEST(PacketWireBytes, DataPayloadScalesWithPayloadBytes) {
+  Packet small;
+  small.payload = MulticastData{GroupId{1}, NodeId{1}, 0, 64, {}, 0};
+  Packet big;
+  big.payload = MulticastData{GroupId{1}, NodeId{1}, 0, 512, {}, 0};
+  EXPECT_EQ(big.wire_bytes() - small.wire_bytes(), 512u - 64u);
+}
+
+TEST(PacketWireBytes, VariableLengthMessagesGrowWithTheirContents) {
+  // RERR: 8 bytes per unreachable destination.
+  Packet rerr;
+  rerr.payload = aodv::RerrMsg{};
+  const std::uint32_t rerr_empty = rerr.wire_bytes();
+  aodv::RerrMsg two;
+  two.unreachable.push_back({NodeId{1}, SeqNo{1}});
+  two.unreachable.push_back({NodeId{2}, SeqNo{2}});
+  rerr.payload = two;
+  EXPECT_EQ(rerr.wire_bytes(), rerr_empty + 2 * 8u);
+
+  // GRPH: 4 bytes per listed tree child.
+  Packet grph;
+  grph.payload = maodv::GrphMsg{};
+  const std::uint32_t grph_empty = grph.wire_bytes();
+  maodv::GrphMsg beat;
+  beat.tree_children = {NodeId{1}, NodeId{2}, NodeId{3}};
+  grph.payload = beat;
+  EXPECT_EQ(grph.wire_bytes(), grph_empty + 3 * 4u);
+
+  // Gossip message: 8 bytes per lost id and per expectation, and full
+  // encapsulated data per pushed message.
+  Packet gm;
+  gm.payload = gossip::GossipMsg{};
+  const std::uint32_t gm_empty = gm.wire_bytes();
+  gossip::GossipMsg msg;
+  msg.lost = {MsgId{NodeId{1}, 0}, MsgId{NodeId{1}, 1}};
+  msg.expected = {gossip::SenderExpectation{NodeId{1}, 2}};
+  gm.payload = msg;
+  EXPECT_EQ(gm.wire_bytes(), gm_empty + 2 * 8u + 8u);
+  msg.pushed.push_back(MulticastData{GroupId{1}, NodeId{1}, 0, 64, {}, 0});
+  gm.payload = msg;
+  EXPECT_EQ(gm.wire_bytes(), gm_empty + 2 * 8u + 8u + 8u + 64u);
+
+  // ODMRP join reply: 12 bytes per entry.
+  Packet jr;
+  jr.payload = odmrp::JoinReplyMsg{};
+  const std::uint32_t jr_empty = jr.wire_bytes();
+  odmrp::JoinReplyMsg reply;
+  reply.entries.push_back({NodeId{1}, NodeId{2}, 1});
+  jr.payload = reply;
+  EXPECT_EQ(jr.wire_bytes(), jr_empty + 12u);
+}
+
+TEST(PacketWireBytes, FrameOverheadRidesOnTopOfThePacket) {
+  Packet p;
+  p.payload = aodv::HelloMsg{NodeId{1}, SeqNo{1}};
+  const std::uint32_t packet_bytes = p.wire_bytes();
+  mac::Frame data{mac::FrameKind::data, NodeId{1}, NodeId::broadcast(), 0,
+                  PacketPool::local().make(Packet{p})};
+  EXPECT_EQ(data.wire_bytes(), packet_bytes + 34u);
+  const mac::Frame ack{mac::FrameKind::ack, NodeId{1}, NodeId{2}, 0, nullptr};
+  EXPECT_EQ(ack.wire_bytes(), 14u);  // ACKs carry no packet at all
+}
+
+}  // namespace
+}  // namespace ag::net

@@ -30,8 +30,8 @@ mac::Frame test_frame(std::uint32_t src, std::uint32_t dst_broadcast = 1) {
   f.mac_src = net::NodeId{src};
   f.mac_dst = dst_broadcast != 0 ? net::NodeId::broadcast() : net::NodeId{1};
   f.mac_seq = 7;
-  f.packet.src = net::NodeId{src};
-  f.packet.payload = aodv::HelloMsg{net::NodeId{src}, net::SeqNo{1}};
+  f.packet = net::make_packet(net::NodeId{src}, net::NodeId::broadcast(), 32,
+                              aodv::HelloMsg{net::NodeId{src}, net::SeqNo{1}});
   return f;
 }
 

@@ -189,8 +189,8 @@ mac::Frame broadcast_frame(std::uint32_t src) {
   f.kind = mac::FrameKind::data;
   f.mac_src = net::NodeId{src};
   f.mac_dst = net::NodeId::broadcast();
-  f.packet.src = net::NodeId{src};
-  f.packet.payload = aodv::HelloMsg{net::NodeId{src}, net::SeqNo{1}};
+  f.packet = net::make_packet(net::NodeId{src}, net::NodeId::broadcast(), 32,
+                              aodv::HelloMsg{net::NodeId{src}, net::SeqNo{1}});
   return f;
 }
 
