@@ -3,11 +3,21 @@
 // events-per-second rate of a full protocol stack.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "gossip/history_table.h"
 #include "gossip/lost_table.h"
 #include "gossip/member_cache.h"
 #include "harness/network.h"
 #include "harness/scenario.h"
+#include "mac/csma_mac.h"
+#include "mobility/static_mobility.h"
+#include "phy/channel.h"
+#include "phy/radio.h"
+#include "sim/event_category.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -104,12 +114,82 @@ void BM_MemberCacheObserve(benchmark::State& state) {
   gossip::MemberCache cache{10};
   std::uint32_t n = 0;
   for (auto _ : state) {
-    cache.observe(net::NodeId{n++ % 40}, static_cast<std::uint16_t>(1 + n % 6),
+    ++n;
+    cache.observe(net::NodeId{n % 40}, static_cast<std::uint16_t>(1 + n % 6),
                   sim::SimTime::us(static_cast<std::int64_t>(n)));
     benchmark::DoNotOptimize(cache.pick_random(rng));
   }
 }
 BENCHMARK(BM_MemberCacheObserve);
+
+// Saturated single-cell contention: every node in mutual range, every
+// interface queue stuffed with broadcasts, so the run is pure CSMA
+// contention — the isolation bench for the analytic backoff countdown.
+// Reports events per delivered frame (the elision metric: the per-slot
+// machine burns a tick event per backoff slot, the batched engine one
+// fused deadline per countdown) and the mac_slot share of all events.
+// Arg(1) = batched analytic engine (default), Arg(0) = per-slot
+// reference via AG_BATCHED_BACKOFF=off.
+void BM_SaturatedCellContention(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  // Save/restore any user-set engine choice so later benchmarks in this
+  // process still measure what the caller asked for.
+  const char* prior_raw = getenv("AG_BATCHED_BACKOFF");
+  const std::string prior = prior_raw == nullptr ? "" : prior_raw;
+  const bool had_prior = prior_raw != nullptr;
+  setenv("AG_BATCHED_BACKOFF", batched ? "on" : "off", 1);
+  constexpr std::size_t kNodes = 10;
+  constexpr int kFramesPerNode = 40;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t mac_slot_events = 0;
+  for (auto _ : state) {
+    std::vector<mobility::Vec2> positions;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      positions.push_back({static_cast<double>(i) * 5.0, 0.0});
+    }
+    sim::Simulator sim;
+    mobility::StaticMobility mobility{std::move(positions)};
+    phy::Channel channel{sim, mobility, phy::PhyParams{100.0, 2e6, 192.0, 3e8}};
+    std::vector<std::unique_ptr<phy::Radio>> radios;
+    std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      radios.push_back(std::make_unique<phy::Radio>(sim, channel, i));
+      channel.attach(radios.back().get());
+      macs.push_back(std::make_unique<mac::CsmaMac>(
+          sim, *radios.back(), channel, net::NodeId{static_cast<std::uint32_t>(i)},
+          mac::MacParams{}, sim.rng().stream("mac", i)));
+    }
+    for (int f = 0; f < kFramesPerNode; ++f) {
+      for (auto& m : macs) {
+        net::Packet p;
+        p.src = m->self();
+        p.payload = aodv::HelloMsg{m->self(), net::SeqNo{1}};
+        m->send(net::NodeId::broadcast(), std::move(p));
+      }
+    }
+    sim.run_all();
+    events += sim.executed_events();
+    mac_slot_events +=
+        sim.event_mix().executed[sim::category_index(sim::EventCategory::mac_slot)];
+    for (auto& m : macs) delivered += m->counters().delivered_up;
+  }
+  if (had_prior) {
+    setenv("AG_BATCHED_BACKOFF", prior.c_str(), 1);
+  } else {
+    unsetenv("AG_BATCHED_BACKOFF");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  if (delivered > 0) {
+    state.counters["events_per_delivered_frame"] =
+        static_cast<double>(events) / static_cast<double>(delivered);
+  }
+  if (events > 0) {
+    state.counters["mac_slot_share"] =
+        static_cast<double>(mac_slot_events) / static_cast<double>(events);
+  }
+}
+BENCHMARK(BM_SaturatedCellContention)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 // Whole-stack throughput: a complete 40-node scenario, measured in
 // simulated events per second of wall clock.

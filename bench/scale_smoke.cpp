@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "figure_common.h"
+#include "mac/csma_mac.h"
 #include "net/data_plane.h"
 #include "phy/channel.h"
+#include "sim/event_category.h"
 
 namespace {
 
@@ -61,10 +63,20 @@ std::vector<std::size_t> nodes_from_cli(int argc, char** argv,
   return fallback;
 }
 
+// Per-category scheduled/executed event counts plus the slots the
+// analytic MAC countdown elided, summed over every run of a point.
+struct EventMixTotals {
+  std::uint64_t scheduled[ag::sim::kEventCategoryCount]{};
+  std::uint64_t executed[ag::sim::kEventCategoryCount]{};
+  std::uint64_t slots_elided{0};
+  std::uint64_t difs_elided{0};
+};
+
 struct PointReport {
   std::size_t nodes;
   double wall_s;
   std::uint64_t sim_events;
+  EventMixTotals mix;
   ag::harness::ExperimentResult result;  // one sweep value, one point per series
 };
 
@@ -78,6 +90,23 @@ std::uint64_t total_sim_events(const ag::harness::ExperimentResult& result) {
   return events;
 }
 
+EventMixTotals total_event_mix(const ag::harness::ExperimentResult& result) {
+  EventMixTotals mix;
+  for (const ag::harness::FigureSeries& s : result.series) {
+    for (const ag::harness::SeriesPoint& p : s.points) {
+      for (const ag::stats::RunResult& r : p.runs) {
+        for (std::size_t c = 0; c < ag::sim::kEventCategoryCount; ++c) {
+          mix.scheduled[c] += r.totals.ev_scheduled[c];
+          mix.executed[c] += r.totals.ev_executed[c];
+        }
+        mix.slots_elided += r.totals.mac_slots_elided();
+        mix.difs_elided += r.totals.mac_difs_elided;
+      }
+    }
+  }
+  return mix;
+}
+
 bool write_scale_json(const std::string& path, const std::vector<PointReport>& reports,
                       std::uint32_t seeds, bool index_on) {
   std::ofstream out{path};
@@ -89,14 +118,36 @@ bool write_scale_json(const std::string& path, const std::vector<PointReport>& r
   out << "  \"spatial_index\": " << (index_on ? "true" : "false") << ",\n";
   out << "  \"dense_tables\": " << (ag::net::dense_tables_enabled() ? "true" : "false")
       << ",\n";
+  out << "  \"batched_backoff\": "
+      << (ag::mac::batched_backoff_enabled() ? "true" : "false") << ",\n";
   out << "  \"points\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const PointReport& rep = reports[i];
     const double events_per_sec =
         rep.wall_s > 0.0 ? static_cast<double>(rep.sim_events) / rep.wall_s : 0.0;
+    // Mode-comparable throughput: elided backoff slots and absorbed DIFS
+    // waits represent the same simulated work whether or not they became
+    // events, so adding them back makes batched and per-slot runs
+    // directly comparable (and the two rates coincide when nothing is
+    // elided).
+    const std::uint64_t effective_events =
+        rep.sim_events + rep.mix.slots_elided + rep.mix.difs_elided;
+    const double effective_per_sec =
+        rep.wall_s > 0.0 ? static_cast<double>(effective_events) / rep.wall_s : 0.0;
     out << "    {\"nodes\": " << rep.nodes << ", \"wall_clock_s\": " << rep.wall_s
         << ", \"sim_events\": " << rep.sim_events
-        << ", \"events_per_sec\": " << events_per_sec << ", \"series\": [\n";
+        << ", \"events_per_sec\": " << events_per_sec
+        << ", \"mac_slots_elided\": " << rep.mix.slots_elided
+        << ", \"mac_difs_elided\": " << rep.mix.difs_elided
+        << ", \"effective_events\": " << effective_events
+        << ", \"effective_events_per_sec\": " << effective_per_sec
+        << ", \"event_mix\": {";
+    for (std::size_t c = 0; c < ag::sim::kEventCategoryCount; ++c) {
+      out << (c > 0 ? ", " : "") << "\"" << ag::sim::event_category_name(c)
+          << "\": {\"scheduled\": " << rep.mix.scheduled[c]
+          << ", \"executed\": " << rep.mix.executed[c] << "}";
+    }
+    out << "}, \"series\": [\n";
     for (std::size_t s = 0; s < rep.result.series.size(); ++s) {
       const ag::harness::FigureSeries& series = rep.result.series[s];
       const ag::harness::SeriesPoint& p = series.points.front();
@@ -135,8 +186,9 @@ int main(int argc, char** argv) {
   base.workload.end = sim::SimTime::seconds(60.0);
   const bool index_on = base.phy.use_spatial_index && !phy::spatial_index_env_off();
 
-  std::printf("== Scaling smoke (constant mean degree, short run; spatial index %s) ==\n",
-              index_on ? "on" : "OFF");
+  std::printf("== Scaling smoke (constant mean degree, short run; spatial index %s, "
+              "batched backoff %s) ==\n",
+              index_on ? "on" : "OFF", mac::batched_backoff_enabled() ? "on" : "OFF");
   std::printf("%-8s %-10s %-12s %-12s per-protocol received avg (delivery)\n",
               "#nodes", "wall(s)", "sim events", "events/s");
 
@@ -160,6 +212,7 @@ int main(int argc, char** argv) {
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     const std::uint64_t events = total_sim_events(result);
+    EventMixTotals mix = total_event_mix(result);
 
     std::printf("%-8zu %-10.2f %-12llu %-12.3g",
                 n, wall_s, static_cast<unsigned long long>(events),
@@ -171,7 +224,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     std::fflush(stdout);
-    reports.push_back({n, wall_s, events, std::move(result)});
+    reports.push_back({n, wall_s, events, mix, std::move(result)});
   }
 
   if (!write_scale_json("BENCH_scale.json", reports, seeds, index_on)) {

@@ -27,22 +27,57 @@ def main() -> int:
     seeds = data.get("seeds", "?")
     index = json.dumps(data.get("spatial_index", "?"))
     dense = json.dumps(data.get("dense_tables", "?"))
+    batched = json.dumps(data.get("batched_backoff", "?"))
     print("### Scaling smoke (`scale_smoke`)\n")
-    print(f"seeds: {seeds} · spatial index: {index} · dense tables: {dense}\n")
-    print("| nodes | wall (s) | sim events | events/sec | per-protocol delivery |")
-    print("|------:|---------:|-----------:|-----------:|:----------------------|")
-    for point in data.get("points", []):
+    print(
+        f"seeds: {seeds} · spatial index: {index} · dense tables: {dense}"
+        f" · batched backoff: {batched}\n"
+    )
+    print(
+        "| nodes | wall (s) | sim events | events/sec "
+        "| events elided | effective ev/sec | per-protocol delivery |"
+    )
+    print(
+        "|------:|---------:|-----------:|-----------:"
+        "|--------------:|-----------------:|:----------------------|"
+    )
+    points = data.get("points", [])
+    for point in points:
         protocols = ", ".join(
             f"{s.get('name', '?')}={s.get('delivery_ratio', 0):.2f}"
             for s in point.get("series", [])
         )
+        elided = point.get("mac_slots_elided", 0) + point.get("mac_difs_elided", 0)
         print(
             f"| {point.get('nodes', '?')} "
             f"| {point.get('wall_clock_s', 0):.2f} "
             f"| {point.get('sim_events', 0):,} "
             f"| {point.get('events_per_sec', 0):,.0f} "
+            f"| {elided:,} "
+            f"| {point.get('effective_events_per_sec', point.get('events_per_sec', 0)):,.0f} "
             f"| {protocols} |"
         )
+
+    # Event-mix table: share of executed events per category, so elision
+    # targets (and regressions) are visible straight from the job page.
+    categories = []
+    for point in points:
+        for name in point.get("event_mix", {}):
+            if name not in categories:
+                categories.append(name)
+    if categories:
+        print("\n#### Event mix (executed events per category)\n")
+        header = " | ".join(categories)
+        print(f"| nodes | {header} |")
+        print("|------:|" + "|".join("---:" for _ in categories) + "|")
+        for point in points:
+            mix = point.get("event_mix", {})
+            total = max(point.get("sim_events", 0), 1)
+            cells = []
+            for name in categories:
+                executed = mix.get(name, {}).get("executed", 0)
+                cells.append(f"{executed:,} ({100.0 * executed / total:.0f}%)")
+            print(f"| {point.get('nodes', '?')} | " + " | ".join(cells) + " |")
     return 0
 
 

@@ -19,8 +19,8 @@ AodvRouter::AodvRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId self,
       self_{self},
       params_{params},
       rng_{rng},
-      hello_timer_{sim, [this] { send_hello(); }},
-      sweep_timer_{sim, [this] { sweep_neighbors(); }} {
+      hello_timer_{sim, [this] { send_hello(); }, sim::EventCategory::router},
+      sweep_timer_{sim, [this] { sweep_neighbors(); }, sim::EventCategory::router} {
   mac_.set_listener(this);
 }
 
@@ -93,9 +93,9 @@ void AodvRouter::broadcast_jittered(net::Payload payload, std::uint8_t ttl,
   // captures one shared_ptr instead of copying the whole payload twice.
   net::PacketPtr pkt =
       net::make_packet(self_, net::NodeId::broadcast(), ttl, std::move(payload));
-  sim_.schedule_after(delay, [this, pkt = std::move(pkt)] {
-    mac_.send(net::NodeId::broadcast(), pkt);
-  });
+  sim_.schedule_after(
+      delay, [this, pkt = std::move(pkt)] { mac_.send(net::NodeId::broadcast(), pkt); },
+      sim::EventCategory::router);
 }
 
 void AodvRouter::route_hint(net::NodeId dest, net::NodeId via_neighbor, std::uint8_t hops) {

@@ -23,7 +23,7 @@ bool RouteTable::offer(net::NodeId dest, net::SeqNo seq, bool seq_known,
   auto [slot, inserted] = entries_.try_emplace(dest);
   RouteEntry& e = *slot;
   if (inserted) {
-    e = RouteEntry{dest, seq, seq_known, hops, next_hop, expires, true};
+    e = RouteEntry{expires, dest, seq, next_hop, hops, seq_known, true};
     return true;
   }
   const bool fresher = seq_known && (!e.seq_known || seq.fresher_than(e.seq));

@@ -19,23 +19,27 @@ FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan, FaultHooks hoo
 
 void FaultInjector::arm() {
   for (const CrashEvent& ev : plan_.crashes) {
-    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] { apply_crash(ev); });
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] { apply_crash(ev); },
+                     sim::EventCategory::fault);
   }
   for (const PartitionEvent& ev : plan_.partitions) {
-    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] { apply_partition(ev); });
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] { apply_partition(ev); },
+                     sim::EventCategory::fault);
     sim_.schedule_at(sim::SimTime::seconds(ev.at_s + ev.heal_after_s),
-                     [this] { apply_heal(); });
+                     [this] { apply_heal(); }, sim::EventCategory::fault);
   }
   for (const MembershipEvent& ev : plan_.membership) {
-    sim_.schedule_at(sim::SimTime::seconds(ev.at_s), [this, ev] {
-      if (ev.join) {
-        ++stats_.joins;
-        hooks_.join(ev.node);
-      } else {
-        ++stats_.leaves;
-        hooks_.leave(ev.node);
-      }
-    });
+    sim_.schedule_at(sim::SimTime::seconds(ev.at_s),
+                     [this, ev] {
+                       if (ev.join) {
+                         ++stats_.joins;
+                         hooks_.join(ev.node);
+                       } else {
+                         ++stats_.leaves;
+                         hooks_.leave(ev.node);
+                       }
+                     },
+                     sim::EventCategory::fault);
   }
 }
 
@@ -48,7 +52,8 @@ void FaultInjector::apply_crash(const CrashEvent& ev) {
     sim_.schedule_after(sim::Duration::seconds(ev.down_for_s),
                         [this, node = ev.node, policy = ev.policy] {
                           apply_reboot(node, policy);
-                        });
+                        },
+                        sim::EventCategory::fault);
   }
 }
 

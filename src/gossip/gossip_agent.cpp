@@ -16,7 +16,7 @@ GossipAgent::GossipAgent(sim::Simulator& sim, RoutingAdapter& adapter,
         ++counters_.nm_updates_sent;
         adapter_.send_to_neighbor(n, NearestMemberMsg{g, v});
       }},
-      round_timer_{sim, [this] { run_round(); }} {}
+      round_timer_{sim, [this] { run_round(); }, sim::EventCategory::router} {}
 
 void GossipAgent::start() {
   if (!params_.enabled) return;
@@ -311,9 +311,9 @@ void GossipAgent::handle_request(const GossipMsg& msg) {
   for (const net::MulticastData& d : found) {
     ++counters_.replies_sent;
     GossipReplyMsg reply{msg.group, adapter_.self(), d};
-    sim_.schedule_after(delay, [this, to = msg.initiator, reply] {
-      adapter_.unicast(to, reply);
-    });
+    sim_.schedule_after(
+        delay, [this, to = msg.initiator, reply] { adapter_.unicast(to, reply); },
+        sim::EventCategory::router);
     delay = delay + params_.reply_spacing +
             sim::Duration::us(rng_.uniform_int(0, 2000));
   }

@@ -205,6 +205,11 @@ stats::RunResult Network::result() const {
   t.phy_suppressed_down = channel_->suppressed_down();
   t.phy_suppressed_partition = channel_->suppressed_partition();
   t.sim_events = sim_.executed_events();
+  const sim::Simulator::EventMix& mix = sim_.event_mix();
+  for (std::size_t c = 0; c < sim::kEventCategoryCount; ++c) {
+    t.ev_scheduled[c] = mix.scheduled[c];
+    t.ev_executed[c] = mix.executed[c];
+  }
   const net::DataPlaneCounters& dpc = net::data_plane_counters();
   t.table_probes = dpc.table_probes - dpc_baseline_.table_probes;
   t.pool_hits = dpc.pool_hits - dpc_baseline_.pool_hits;
@@ -212,6 +217,8 @@ stats::RunResult Network::result() const {
   for (const auto& s : stacks_) {
     t.mac_unicast += s->mac->counters().unicast_sent;
     t.mac_broadcast += s->mac->counters().broadcast_sent;
+    t.mac_backoff_slots_credited += s->mac->counters().backoff_slots_credited;
+    t.mac_difs_elided += s->mac->counters().difs_events_elided;
     t.mac_collisions += s->radio->counters().frames_corrupted;
     t.mac_queue_drops += s->mac->counters().queue_drops;
     const auto& g = s->agent->counters();

@@ -4,6 +4,15 @@
 // unacknowledged single-shot broadcast. RTS/CTS and the NAV are omitted
 // (64-byte data frames sit below any reasonable RTS threshold; see
 // DESIGN.md). Failed unicasts surface as link-break feedback to routing.
+//
+// The contention countdown is event-elided by default: DIFS deference and
+// the remaining backoff slots fuse into ONE scheduled deadline, and a
+// busy transition pauses analytically — whole slots elapsed since DIFS
+// completion are credited in O(1), the partial slot in progress is
+// forfeited, exactly as the per-slot tick machine would have done. The
+// per-slot reference machine stays alive behind AG_BATCHED_BACKOFF=off
+// (same pattern as AG_SPATIAL_INDEX / AG_DENSE_TABLES) and whole runs
+// are bit-identical either way; see ARCHITECTURE.md "MAC contention".
 #ifndef AG_MAC_CSMA_MAC_H
 #define AG_MAC_CSMA_MAC_H
 
@@ -21,6 +30,15 @@
 #include "sim/timer.h"
 
 namespace ag::mac {
+
+// True unless AG_BATCHED_BACKOFF=off|0|false is set in the environment —
+// the process-wide escape hatch that swaps the analytic fused-deadline
+// contention countdown back onto the per-slot reference machine. Both
+// engines produce bit-identical runs (pinned by
+// batched_backoff_equivalence_test); the hatch exists to bisect
+// contention-engine bugs and to re-verify the equivalence on any
+// scenario. Read at CsmaMac construction.
+[[nodiscard]] bool batched_backoff_enabled();
 
 // Implemented by the routing layer.
 class MacListener {
@@ -61,11 +79,25 @@ class CsmaMac final : public phy::RadioListener {
     std::uint64_t unicast_sent{0};
     std::uint64_t broadcast_sent{0};
     std::uint64_t acks_sent{0};
+    // ACKs we owed but never radiated because our radio was mid-
+    // transmission when the SIFS expired (the sender will retry).
+    std::uint64_t acks_suppressed{0};
     std::uint64_t retries{0};
     std::uint64_t unicast_failed{0};
     std::uint64_t queue_drops{0};
     std::uint64_t delivered_up{0};
     std::uint64_t dup_frames_dropped{0};
+    // Whole backoff slots consumed by the countdown (each decrement of
+    // backoff_slots_, whether ticked one event at a time or credited
+    // analytically in a batch). Engine-independent by construction —
+    // the equivalence suite pins it across AG_BATCHED_BACKOFF modes.
+    std::uint64_t backoff_slots_credited{0};
+    // DIFS waits the fused deadline absorbed: countdowns that served a
+    // DIFS remainder *and* backoff slots in one event, where the
+    // per-slot reference would have executed a separate mac_difs event
+    // at the anchor. Always zero in the reference engine; executed
+    // mac_difs events + difs_events_elided is engine-independent.
+    std::uint64_t difs_events_elided{0};
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -94,6 +126,7 @@ class CsmaMac final : public phy::RadioListener {
   void pause_contention();
   void on_difs_elapsed();
   void on_slot_elapsed();
+  void on_countdown_elapsed();
   void start_transmission();
   void on_ack_timeout();
   void transmission_succeeded();
@@ -117,9 +150,24 @@ class CsmaMac final : public phy::RadioListener {
   std::uint32_t retries_{0};
   std::uint16_t next_mac_seq_{0};
   bool difs_done_{false};
+  const bool batched_;  // analytic fused countdown vs per-slot reference
 
-  sim::Timer access_timer_;  // DIFS wait, then per-slot countdown
+  sim::Timer access_timer_;  // fused deadline, or DIFS + per-slot ticks
   sim::Timer ack_timer_;
+  // Batched engine: the instant DIFS deference completes for the armed
+  // countdown — backoff slots are counted from here. Valid only while
+  // access_timer_ is pending in batched mode.
+  sim::SimTime countdown_anchor_;
+  // The DIFS remainder the armed fused deadline covers in addition to
+  // backoff slots (zero when DIFS was already served — the reference
+  // engine would run a separate difs event at the anchor otherwise).
+  // Valid under the same condition as the anchor; drives the
+  // difs_events_elided accounting, including the exact-anchor tie rule.
+  sim::Duration fused_difs_remaining_;
+  // Upper bound on any in-range sender's quantized propagation delay
+  // (from the channel's range and propagation speed), used by the
+  // exact-anchor tie rule in pause_contention.
+  sim::Duration max_propagation_;
 
   // Last mac_seq accepted per neighbor: drops MAC-level retransmission
   // duplicates (data received, ACK lost, sender retried).

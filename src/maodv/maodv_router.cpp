@@ -10,8 +10,9 @@ MaodvRouter::MaodvRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId sel
                          sim::Rng rng)
     : AodvRouter{sim, mac, self, aodv_params, rng},
       mparams_{maodv_params},
-      grph_timer_{sim, [this] { emit_group_hellos(); }},
-      liveness_timer_{sim, [this] { check_group_liveness(); }} {}
+      grph_timer_{sim, [this] { emit_group_hellos(); }, sim::EventCategory::router},
+      liveness_timer_{sim, [this] { check_group_liveness(); },
+                      sim::EventCategory::router} {}
 
 void MaodvRouter::start() {
   AodvRouter::start();

@@ -1,16 +1,10 @@
 #include "net/data_plane.h"
 
-#include <cstdlib>
-#include <cstring>
+#include "sim/env.h"
 
 namespace ag::net {
 
-bool dense_tables_enabled() {
-  const char* v = std::getenv("AG_DENSE_TABLES");
-  if (v == nullptr) return true;
-  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
-           std::strcmp(v, "false") == 0);
-}
+bool dense_tables_enabled() { return !sim::env_flag_off("AG_DENSE_TABLES"); }
 
 DataPlaneCounters& data_plane_counters() {
   thread_local DataPlaneCounters counters;

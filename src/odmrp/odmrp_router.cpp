@@ -16,7 +16,7 @@ OdmrpRouter::OdmrpRouter(sim::Simulator& sim, mac::CsmaMac& mac, net::NodeId sel
                          sim::Rng rng)
     : AodvRouter{sim, mac, self, aodv_params, rng},
       oparams_{odmrp_params},
-      refresh_timer_{sim, [this] { refresh_tick(); }} {}
+      refresh_timer_{sim, [this] { refresh_tick(); }, sim::EventCategory::router} {}
 
 void OdmrpRouter::start() {
   AodvRouter::start();

@@ -2,20 +2,14 @@
 
 #include <cassert>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 
 #include "mobility/vec2.h"
 #include "phy/radio.h"
+#include "sim/env.h"
 
 namespace ag::phy {
 
-bool spatial_index_env_off() {
-  const char* v = std::getenv("AG_SPATIAL_INDEX");
-  if (v == nullptr) return false;
-  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
-         std::strcmp(v, "false") == 0;
-}
+bool spatial_index_env_off() { return sim::env_flag_off("AG_SPATIAL_INDEX"); }
 
 Channel::Channel(sim::Simulator& sim, const mobility::MobilityModel& mobility,
                  PhyParams params)
@@ -122,12 +116,15 @@ void Channel::transmit(std::size_t sender, const mac::Frame& frame) {
     }
     const auto prop = sim::Duration::us(prop_us);
     const sim::SimTime end = now + prop + airtime;
-    sim_.schedule_after(prop, [this, shared, end, rx = std::move(rx)] {
-      for (const std::uint32_t i : rx) {
-        if (is_node_down(i)) continue;  // crashed between send and first bit
-        radios_[i]->begin_reception(shared, end);
-      }
-    });
+    sim_.schedule_after(
+        prop,
+        [this, shared, end, rx = std::move(rx)] {
+          for (const std::uint32_t i : rx) {
+            if (is_node_down(i)) continue;  // crashed between send and first bit
+            radios_[i]->begin_reception(shared, end);
+          }
+        },
+        sim::EventCategory::phy_delivery);
   }
 }
 

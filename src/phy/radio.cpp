@@ -30,11 +30,14 @@ void Radio::transmit(const mac::Frame& frame) {
   }
   ++counters_.frames_sent;
   channel_.transmit(node_index_, frame);
-  sim_.schedule_after(channel_.airtime_of(frame), [this] {
-    transmitting_ = false;
-    after_state_change(/*was_busy=*/true);
-    if (listener_ != nullptr) listener_->on_transmit_complete();
-  });
+  sim_.schedule_after(
+      channel_.airtime_of(frame),
+      [this] {
+        transmitting_ = false;
+        after_state_change(/*was_busy=*/true);
+        if (listener_ != nullptr) listener_->on_transmit_complete();
+      },
+      sim::EventCategory::phy_delivery);
   after_state_change(was_busy);
 }
 
@@ -59,7 +62,8 @@ void Radio::begin_reception(std::shared_ptr<const mac::Frame> frame, sim::SimTim
     }
   }
   active_rx_.push_back(std::move(rx));
-  sim_.schedule_at(end, [this] { finish_reception(); });
+  sim_.schedule_at(end, [this] { finish_reception(); },
+                   sim::EventCategory::phy_delivery);
   after_state_change(was_busy);
 }
 

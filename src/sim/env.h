@@ -1,0 +1,23 @@
+// Shared parser for the escape-hatch environment knobs (AG_SPATIAL_INDEX,
+// AG_DENSE_TABLES, AG_BATCHED_BACKOFF): one definition of which spellings
+// mean "off", so the three hatches can never drift apart.
+#ifndef AG_SIM_ENV_H
+#define AG_SIM_ENV_H
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ag::sim {
+
+// True when the variable is set to off|0|false; unset or anything else
+// means the feature stays on.
+[[nodiscard]] inline bool env_flag_off(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+}  // namespace ag::sim
+
+#endif  // AG_SIM_ENV_H

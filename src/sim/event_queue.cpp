@@ -5,17 +5,18 @@
 
 namespace ag::sim {
 
-std::uint32_t EventQueue::acquire_slot(Action action) {
+std::uint32_t EventQueue::acquire_slot(Action action, EventCategory category) {
   if (free_head_ != kNoSlot) {
     const std::uint32_t slot = free_head_;
     free_head_ = slots_[slot].next_free;
     slots_[slot].action = std::move(action);
     slots_[slot].cancelled = false;
+    slots_[slot].category = category;
     slots_[slot].next_free = kNoSlot;
     return slot;
   }
   assert(slots_.size() < kSlotMask && "too many concurrently pending events");
-  slots_.push_back(Slot{std::move(action)});
+  slots_.push_back(Slot{std::move(action), 0, false, category, kNoSlot});
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -66,8 +67,8 @@ void EventQueue::heap_pop() const {
 
 // ------------------------------------------------------------- public API
 
-EventId EventQueue::schedule(SimTime at, Action action) {
-  const std::uint32_t slot = acquire_slot(std::move(action));
+EventId EventQueue::schedule(SimTime at, Action action, EventCategory category) {
+  const std::uint32_t slot = acquire_slot(std::move(action), category);
   heap_push(Entry{at, (next_seq_++ << kSlotBits) | slot});
   ++live_count_;
   // Slot indices are offset by one so a packed id is never 0 (invalid).
@@ -105,7 +106,7 @@ EventQueue::Fired EventQueue::pop() {
   drop_cancelled_front();
   assert(!heap_.empty());
   const Entry top = heap_.front();
-  Fired fired{top.at, std::move(slots_[top.slot()].action)};
+  Fired fired{top.at, std::move(slots_[top.slot()].action), slots_[top.slot()].category};
   release_slot(top.slot());
   heap_pop();
   --live_count_;
@@ -118,6 +119,7 @@ bool EventQueue::pop_if_at_or_before(SimTime until, Fired& out) {
   const Entry top = heap_.front();
   out.at = top.at;
   out.action = std::move(slots_[top.slot()].action);
+  out.category = slots_[top.slot()].category;
   release_slot(top.slot());
   heap_pop();
   --live_count_;

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/event_category.h"
 #include "sim/time.h"
 
 namespace ag::sim {
@@ -45,7 +46,8 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  EventId schedule(SimTime at, Action action);
+  EventId schedule(SimTime at, Action action,
+                   EventCategory category = EventCategory::other);
   // Cancels a pending event. Returns false (harmless no-op) if the id is
   // invalid, already fired, or already cancelled.
   bool cancel(EventId id);
@@ -59,6 +61,7 @@ class EventQueue {
   struct Fired {
     SimTime at;
     Action action;
+    EventCategory category{EventCategory::other};
   };
   Fired pop();
   // Fused empty/next_time/pop for the simulator's hot loop: pops into
@@ -76,6 +79,7 @@ class EventQueue {
     Action action;
     std::uint64_t generation{0};
     bool cancelled{false};
+    EventCategory category{EventCategory::other};  // rides in padding
     std::uint32_t next_free{kNoSlot};
   };
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFF;
@@ -99,7 +103,7 @@ class EventQueue {
     return a.key < b.key;  // FIFO among equal times
   }
 
-  [[nodiscard]] std::uint32_t acquire_slot(Action action);
+  [[nodiscard]] std::uint32_t acquire_slot(Action action, EventCategory category);
   void release_slot(std::uint32_t slot) const;
   void drop_cancelled_front() const;
   // Implicit 4-ary min-heap primitives over heap_.

@@ -5,13 +5,16 @@
 
 namespace ag::sim {
 
-EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
+EventId Simulator::schedule_at(SimTime at, EventQueue::Action action,
+                               EventCategory category) {
   assert(at >= now_ && "cannot schedule into the past");
-  return queue_.schedule(at, std::move(action));
+  ++event_mix_.scheduled[category_index(category)];
+  return queue_.schedule(at, std::move(action), category);
 }
 
-EventId Simulator::schedule_after(Duration delay, EventQueue::Action action) {
-  return schedule_at(now_ + delay, std::move(action));
+EventId Simulator::schedule_after(Duration delay, EventQueue::Action action,
+                                  EventCategory category) {
+  return schedule_at(now_ + delay, std::move(action), category);
 }
 
 std::size_t Simulator::run_until(SimTime until) {
@@ -19,6 +22,7 @@ std::size_t Simulator::run_until(SimTime until) {
   EventQueue::Fired fired;
   while (queue_.pop_if_at_or_before(until, fired)) {
     now_ = fired.at;
+    ++event_mix_.executed[category_index(fired.category)];
     fired.action();
     ++n;
     ++executed_;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "sim/event_category.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -21,8 +22,10 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] const RngFactory& rng() const { return rng_factory_; }
 
-  EventId schedule_at(SimTime at, EventQueue::Action action);
-  EventId schedule_after(Duration delay, EventQueue::Action action);
+  EventId schedule_at(SimTime at, EventQueue::Action action,
+                      EventCategory category = EventCategory::other);
+  EventId schedule_after(Duration delay, EventQueue::Action action,
+                         EventCategory category = EventCategory::other);
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   // Runs events until the queue drains or the clock passes `until`
@@ -34,11 +37,22 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  // Event-mix accounting: per-category scheduled/executed counts over the
+  // whole run (cancelled events are scheduled but never executed). The
+  // counters are bookkeeping only — nothing in the model reads them — so
+  // they cannot perturb schedules.
+  struct EventMix {
+    std::uint64_t scheduled[kEventCategoryCount]{};
+    std::uint64_t executed[kEventCategoryCount]{};
+  };
+  [[nodiscard]] const EventMix& event_mix() const { return event_mix_; }
+
  private:
   EventQueue queue_;
   SimTime now_;
   RngFactory rng_factory_;
   std::uint64_t executed_{0};
+  EventMix event_mix_;
 };
 
 }  // namespace ag::sim

@@ -5,10 +5,13 @@ namespace ag::sim {
 void Timer::restart(Duration delay) {
   cancel();
   deadline_ = sim_->now() + delay;
-  id_ = sim_->schedule_at(deadline_, [this] {
-    id_ = EventId{};
-    on_fire_();
-  });
+  id_ = sim_->schedule_at(
+      deadline_,
+      [this] {
+        id_ = EventId{};
+        on_fire_();
+      },
+      category_);
 }
 
 void Timer::cancel() {

@@ -13,8 +13,9 @@ namespace ag::sim {
 
 class Timer {
  public:
-  Timer(Simulator& sim, std::function<void()> on_fire)
-      : sim_{&sim}, on_fire_{std::move(on_fire)} {}
+  Timer(Simulator& sim, std::function<void()> on_fire,
+        EventCategory category = EventCategory::other)
+      : sim_{&sim}, on_fire_{std::move(on_fire)}, category_{category} {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
@@ -23,6 +24,12 @@ class Timer {
 
   // (Re)arms the timer to fire after `delay` from now.
   void restart(Duration delay);
+  // Same, recording the event under `category` for the event-mix
+  // accounting (sticky: later plain restarts keep the last category).
+  void restart(Duration delay, EventCategory category) {
+    category_ = category;
+    restart(delay);
+  }
   void cancel();
   [[nodiscard]] bool pending() const { return id_.valid(); }
   // Expiry time of the armed timer (meaningful only when pending()).
@@ -31,6 +38,7 @@ class Timer {
  private:
   Simulator* sim_;
   std::function<void()> on_fire_;
+  EventCategory category_;
   EventId id_;
   SimTime deadline_;
 };
@@ -39,8 +47,11 @@ class Timer {
 // beacons, group hellos and gossip rounds.
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulator& sim, std::function<void()> on_tick)
-      : sim_{&sim}, on_tick_{std::move(on_tick)}, timer_{sim, [this] { fire(); }} {}
+  PeriodicTimer(Simulator& sim, std::function<void()> on_tick,
+                EventCategory category = EventCategory::other)
+      : sim_{&sim},
+        on_tick_{std::move(on_tick)},
+        timer_{sim, [this] { fire(); }, category} {}
 
   // Starts ticking every `period`; each tick is displaced by a fresh uniform
   // draw in [0, jitter) using `rng` (pass nullptr for no jitter).

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/ids.h"
+#include "sim/event_category.h"
 #include "stats/summary.h"
 
 namespace ag::stats {
@@ -47,6 +48,37 @@ struct NetworkTotals {
   // Simulator events executed over the run (the denominator of the
   // events/sec throughput the scale bench reports).
   std::uint64_t sim_events{0};
+  // Event-mix accounting (sim::EventCategory order, names via
+  // sim::event_category_name): events scheduled and executed per
+  // category. These counts legitimately differ across the
+  // AG_BATCHED_BACKOFF modes — the analytic countdown elides per-slot
+  // tick events — so they feed BENCH_scale.json and the microbenches,
+  // NOT the mode-independent figure JSONs.
+  std::uint64_t ev_scheduled[sim::kEventCategoryCount]{};
+  std::uint64_t ev_executed[sim::kEventCategoryCount]{};
+  // Whole backoff slots consumed by every MAC's contention countdown —
+  // engine-independent (ticked or analytically credited), so
+  // sim_events + mac_events_elided() is a mode-comparable measure of
+  // simulated work.
+  std::uint64_t mac_backoff_slots_credited{0};
+  // DIFS waits absorbed into a fused slot-countdown deadline (the
+  // reference engine runs them as their own mac_difs events). Zero in
+  // the per-slot reference engine.
+  std::uint64_t mac_difs_elided{0};
+  // Slot ticks the analytic countdown never scheduled: slots consumed
+  // minus mac_slot events actually executed. Exactly zero in the
+  // per-slot reference engine (every consumed slot was its own event).
+  [[nodiscard]] std::uint64_t mac_slots_elided() const {
+    const std::uint64_t ticked =
+        ev_executed[sim::category_index(sim::EventCategory::mac_slot)];
+    return mac_backoff_slots_credited > ticked ? mac_backoff_slots_credited - ticked
+                                               : 0;
+  }
+  // Everything the analytic countdown represented without an event:
+  // sim_events + this reconstructs what the reference engine executes.
+  [[nodiscard]] std::uint64_t mac_events_elided() const {
+    return mac_slots_elided() + mac_difs_elided;
+  }
   // Data-plane work (net::DataPlaneCounters, diffed per run): logical
   // NodeTable/DenseMap operations and packet-pool allocation behaviour.
   // Counted at the container API level, so the dense and AG_DENSE_TABLES

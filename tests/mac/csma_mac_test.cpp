@@ -208,6 +208,147 @@ TEST(CsmaMac, PowerCycleDropsQueueAndRecovers) {
   EXPECT_EQ(f.macs_[0]->counters().unicast_failed, 0u);
 }
 
+TEST(CsmaMac, AckSuppressedWhenRadioTransmittingAtSifsExpiry) {
+  // The receiver owes an ACK but its own frame is on the air when the
+  // SIFS expires: the ACK is silently dropped (the sender retries) and
+  // the drop must be counted, not invisible. The overlap cannot occur
+  // with in-band timings (DIFS > SIFS), so the reception is injected
+  // directly while node 1 is mid-transmission.
+  MacFixture f{{{0, 0}, {50, 0}}};
+  f.macs_[1]->send(net::NodeId::broadcast(), hello_packet(1));
+  // Step until node 1's transmission starts (DIFS + drawn backoff).
+  while (!f.radios_[1]->transmitting()) {
+    f.sim_.run_until(f.sim_.now() + sim::Duration::us(10));
+  }
+  const Frame data{FrameKind::data, net::NodeId{0}, net::NodeId{1}, 0,
+                   net::PacketPool::local().make(hello_packet(0))};
+  f.macs_[1]->on_frame_received(data);  // schedules the ACK at now + SIFS
+  // SIFS (10 us) expires well inside the frame airtime (hundreds of us).
+  f.sim_.run_all();
+  EXPECT_EQ(f.macs_[1]->counters().acks_suppressed, 1u);
+  EXPECT_EQ(f.macs_[1]->counters().acks_sent, 0u);
+  EXPECT_EQ(f.macs_[1]->counters().delivered_up, 1u);  // data still went up
+}
+
+TEST(CsmaMac, BatchedPowerCycleMidCountdownDoesNotFireStaleDeadline) {
+  // A crash landing between DIFS completion and the fused deadline must
+  // cancel the pending analytic countdown: nothing may transmit at the
+  // stale deadline, and a fresh send afterwards contends from scratch.
+  ASSERT_TRUE(batched_backoff_enabled());  // default engine
+  MacFixture f{{{0, 0}, {50, 0}}};
+  f.macs_[0]->send(net::NodeId::broadcast(), hello_packet(0));
+  // Mid-countdown: past begin_access, before any transmission (the
+  // earliest possible deadline is DIFS = 50 us).
+  f.sim_.run_until(f.sim_.now() + sim::Duration::us(30));
+  ASSERT_EQ(f.macs_[0]->counters().broadcast_sent, 0u);
+  f.macs_[0]->power_cycle();
+  f.sim_.run_all();
+  EXPECT_EQ(f.macs_[0]->counters().broadcast_sent, 0u);
+  EXPECT_EQ(f.listeners_[1]->received.size(), 0u);
+  // The MAC keeps working after the cycle.
+  f.macs_[0]->send(net::NodeId::broadcast(), hello_packet(0));
+  f.sim_.run_all();
+  EXPECT_EQ(f.macs_[0]->counters().broadcast_sent, 1u);
+  EXPECT_EQ(f.listeners_[1]->received.size(), 1u);
+}
+
+TEST(CsmaMac, AckArrivingAtTimeoutDeadlineBeatsTheTimer) {
+  // An ACK reception event landing at exactly the timeout deadline fires
+  // first (it was scheduled before the timeout was armed — FIFO order),
+  // so the transmission succeeds with no retry. Real ACKs are dropped and
+  // the deadline-grazing ACK is injected at the computed expiry.
+  MacFixture f{{{0, 0}, {50, 0}}};
+  f.channel_.set_drop_hook([](std::size_t from, std::size_t to) {
+    return from == 1 && to == 0;  // ACK direction
+  });
+  f.macs_[0]->send(net::NodeId{1}, hello_packet(0));
+  while (!f.radios_[0]->transmitting()) {
+    f.sim_.run_until(f.sim_.now() + sim::Duration::us(10));
+  }
+  // Reconstruct the deadline from the MAC's own arithmetic: data airtime
+  // (tx just started), then SIFS + ACK airtime + 3 slots.
+  const Frame data{FrameKind::data, net::NodeId{0}, net::NodeId{1}, 0,
+                   net::PacketPool::local().make(hello_packet(0))};
+  const Frame ack{FrameKind::ack, net::NodeId{1}, net::NodeId{0}, 0, {}};
+  const MacParams params{};
+  const sim::SimTime deadline = f.sim_.now() + f.channel_.airtime_of(data) +
+                                params.sifs + f.channel_.airtime_of(ack) +
+                                params.slot * 3;
+  // Scheduled now — before the MAC arms the timeout at tx completion —
+  // so at the shared deadline this event pops first.
+  f.sim_.schedule_at(deadline, [&f, ack] { f.macs_[0]->on_frame_received(ack); });
+  f.sim_.run_all();
+  EXPECT_EQ(f.macs_[0]->counters().retries, 0u);
+  EXPECT_EQ(f.macs_[0]->counters().unicast_failed, 0u);
+  EXPECT_EQ(f.macs_[0]->queue_depth(), 0u);
+}
+
+TEST(CsmaMac, StaleAckJustAfterTimeoutIsIgnoredAndRetryProceeds) {
+  // The mirror ordering: the timeout fires first (same microsecond, the
+  // ACK injection is scheduled after the timer was armed, so it pops
+  // second). The stale ACK must be ignored — the MAC is already
+  // contending for the retry — and the retransmission must succeed via
+  // the receiver's real ACK, with the duplicate filtered.
+  MacFixture f{{{0, 0}, {50, 0}}};
+  int acks_dropped = 0;
+  f.channel_.set_drop_hook([&acks_dropped](std::size_t from, std::size_t to) {
+    return from == 1 && to == 0 && acks_dropped++ < 1;  // first ACK only
+  });
+  f.macs_[0]->send(net::NodeId{1}, hello_packet(0));
+  while (!f.radios_[0]->transmitting()) {
+    f.sim_.run_until(f.sim_.now() + sim::Duration::us(10));
+  }
+  const Frame data{FrameKind::data, net::NodeId{0}, net::NodeId{1}, 0,
+                   net::PacketPool::local().make(hello_packet(0))};
+  const Frame ack{FrameKind::ack, net::NodeId{1}, net::NodeId{0}, 0, {}};
+  const MacParams params{};
+  const sim::SimTime tx_end = f.sim_.now() + f.channel_.airtime_of(data);
+  const sim::SimTime deadline =
+      tx_end + params.sifs + f.channel_.airtime_of(ack) + params.slot * 3;
+  // Run past tx completion so the MAC has armed the ACK timeout, then
+  // schedule the stale ACK at the very same deadline (larger seq ⇒ the
+  // timeout pops first).
+  f.sim_.run_until(tx_end);
+  f.sim_.schedule_at(deadline, [&f, ack] { f.macs_[0]->on_frame_received(ack); });
+  f.sim_.run_all();
+  EXPECT_EQ(f.macs_[0]->counters().retries, 1u);
+  EXPECT_EQ(f.macs_[0]->counters().unicast_failed, 0u);
+  EXPECT_EQ(f.listeners_[1]->received.size(), 1u);
+  EXPECT_EQ(f.macs_[1]->counters().dup_frames_dropped, 1u);
+  EXPECT_EQ(f.macs_[0]->queue_depth(), 0u);
+}
+
+TEST(CsmaMac, BackoffSlotsCreditedMatchesAcrossEngines) {
+  // The analytic credit arithmetic consumes exactly the slots the
+  // per-slot tick chain does, on a contended cell where pauses interrupt
+  // countdowns constantly.
+  std::uint64_t credited[2] = {0, 0};
+  std::uint64_t sent[2] = {0, 0};
+  for (const bool batched : {true, false}) {
+    if (batched) {
+      unsetenv("AG_BATCHED_BACKOFF");
+    } else {
+      setenv("AG_BATCHED_BACKOFF", "off", 1);
+    }
+    MacFixture f{{{0, 0}, {30, 0}, {60, 0}}};
+    for (int i = 0; i < 10; ++i) {
+      f.macs_[0]->send(net::NodeId::broadcast(), hello_packet(0));
+      f.macs_[1]->send(net::NodeId{0}, hello_packet(1));
+      f.macs_[2]->send(net::NodeId::broadcast(), hello_packet(2));
+    }
+    f.sim_.run_all();
+    for (const auto& mac : f.macs_) {
+      credited[batched ? 0 : 1] += mac->counters().backoff_slots_credited;
+      sent[batched ? 0 : 1] +=
+          mac->counters().broadcast_sent + mac->counters().unicast_sent;
+    }
+    unsetenv("AG_BATCHED_BACKOFF");
+  }
+  EXPECT_EQ(credited[0], credited[1]);
+  EXPECT_EQ(sent[0], sent[1]);
+  EXPECT_GT(credited[0], 0u);
+}
+
 TEST(CsmaMac, PowerCycleMidTransmissionStaysConsistent) {
   MacFixture f{{{0, 0}, {40, 0}}};
   f.macs_[0]->send(net::NodeId{1}, hello_packet(0));
