@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
                        i + 1, g);
         }
       }
-      std::printf(" | %5.1f\n", sums.empty() ? 100.0 : total / sums.size());
+      std::printf(" | %5.1f\n",
+                  sums.empty() ? 100.0 : total / static_cast<double>(sums.size()));
       std::fflush(stdout);
     }
   }

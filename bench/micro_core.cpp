@@ -59,9 +59,11 @@ void BM_SimulatorTimerChurn(benchmark::State& state) {
     sim::Simulator sim;
     int fired = 0;
     std::function<void()> chain = [&] {
-      if (++fired < 10000) sim.schedule_after(sim::Duration::us(10), chain);
+      if (++fired < 10000) {
+        sim.schedule_after(sim::Duration::us(10), chain, sim::EventCategory::other);
+      }
     };
-    sim.schedule_after(sim::Duration::us(10), chain);
+    sim.schedule_after(sim::Duration::us(10), chain, sim::EventCategory::other);
     sim.run_all();
     benchmark::DoNotOptimize(fired);
   }
@@ -134,9 +136,11 @@ void BM_SaturatedCellContention(benchmark::State& state) {
   const bool batched = state.range(0) != 0;
   // Save/restore any user-set engine choice so later benchmarks in this
   // process still measure what the caller asked for.
+  // ag-lint: allow(env, A/B bench saves the caller's engine choice)
   const char* prior_raw = getenv("AG_BATCHED_BACKOFF");
   const std::string prior = prior_raw == nullptr ? "" : prior_raw;
   const bool had_prior = prior_raw != nullptr;
+  // ag-lint: allow(env, A/B bench toggles the escape hatch per Arg)
   setenv("AG_BATCHED_BACKOFF", batched ? "on" : "off", 1);
   constexpr std::size_t kNodes = 10;
   constexpr int kFramesPerNode = 40;
@@ -175,8 +179,10 @@ void BM_SaturatedCellContention(benchmark::State& state) {
     for (auto& m : macs) delivered += m->counters().delivered_up;
   }
   if (had_prior) {
+    // ag-lint: allow(env, A/B bench restores the caller's engine choice)
     setenv("AG_BATCHED_BACKOFF", prior.c_str(), 1);
   } else {
+    // ag-lint: allow(env, A/B bench restores the caller's engine choice)
     unsetenv("AG_BATCHED_BACKOFF");
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));

@@ -194,6 +194,7 @@ int main(int argc, char** argv) {
 
   std::vector<PointReport> reports;
   for (const std::size_t n : node_counts) {
+    // ag-lint: allow(determinism, wall-clock measures the harness itself)
     const auto t0 = std::chrono::steady_clock::now();
     harness::ExperimentResult result =
         harness::Experiment::sweep("node_count", {static_cast<double>(n)},
@@ -210,6 +211,7 @@ int main(int argc, char** argv) {
             .name("scale_smoke")
             .run();
     const double wall_s =
+        // ag-lint: allow(determinism, wall-clock measures the harness itself)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     const std::uint64_t events = total_sim_events(result);
     EventMixTotals mix = total_event_mix(result);

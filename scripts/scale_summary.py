@@ -5,10 +5,33 @@ Used by the Release CI job to append a wall-clock + events/sec summary to
 $GITHUB_STEP_SUMMARY, so perf regressions are visible on the PR page
 without downloading the artifact.
 
+Runs under `if: always()`, so it must exit 0 and print something
+readable for every degraded input: missing file, truncated JSON, a
+non-object payload, points that are missing keys (the wall-clock budget
+can kill scale_smoke mid-sweep), or points without event_mix (older
+BENCH files predate the per-category accounting).
+
 Usage: scale_summary.py BENCH_scale.json
 """
 import json
 import sys
+
+
+def _num(value, default=0):
+    """Returns value as a number, or `default` when absent/malformed."""
+    return value if isinstance(value, (int, float)) and not isinstance(value, bool) else default
+
+
+def _fmt_protocols(point):
+    series = point.get("series", [])
+    if not isinstance(series, list):
+        return "?"
+    parts = []
+    for s in series:
+        if not isinstance(s, dict):
+            continue
+        parts.append(f"{s.get('name', '?')}={_num(s.get('delivery_ratio')):.2f}")
+    return ", ".join(parts) if parts else "_n/a_"
 
 
 def main() -> int:
@@ -22,6 +45,10 @@ def main() -> int:
         # CI must not fail the build over a missing/truncated bench file
         # (the wall-clock budget may have tripped); say so in the summary.
         print(f"### Scaling smoke\n\n_no usable {sys.argv[1]}: {e}_")
+        return 0
+    if not isinstance(data, dict):
+        print(f"### Scaling smoke\n\n_unexpected payload in {sys.argv[1]}: "
+              f"{type(data).__name__} instead of an object_")
         return 0
 
     seeds = data.get("seeds", "?")
@@ -42,27 +69,38 @@ def main() -> int:
         "|--------------:|-----------------:|:----------------------|"
     )
     points = data.get("points", [])
+    if not isinstance(points, list):
+        points = []
+    points = [p for p in points if isinstance(p, dict)]
+    if not points:
+        # Placeholder row: the budget tripped before the first point (or
+        # the schema changed) — keep the table well-formed either way.
+        print("| _no points recorded_ | — | — | — | — | — | — |")
     for point in points:
-        protocols = ", ".join(
-            f"{s.get('name', '?')}={s.get('delivery_ratio', 0):.2f}"
-            for s in point.get("series", [])
+        elided = _num(point.get("mac_slots_elided")) + _num(point.get("mac_difs_elided"))
+        effective = _num(
+            point.get("effective_events_per_sec"), _num(point.get("events_per_sec"))
         )
-        elided = point.get("mac_slots_elided", 0) + point.get("mac_difs_elided", 0)
         print(
             f"| {point.get('nodes', '?')} "
-            f"| {point.get('wall_clock_s', 0):.2f} "
-            f"| {point.get('sim_events', 0):,} "
-            f"| {point.get('events_per_sec', 0):,.0f} "
+            f"| {_num(point.get('wall_clock_s')):.2f} "
+            f"| {_num(point.get('sim_events')):,} "
+            f"| {_num(point.get('events_per_sec')):,.0f} "
             f"| {elided:,} "
-            f"| {point.get('effective_events_per_sec', point.get('events_per_sec', 0)):,.0f} "
-            f"| {protocols} |"
+            f"| {effective:,.0f} "
+            f"| {_fmt_protocols(point)} |"
         )
 
     # Event-mix table: share of executed events per category, so elision
     # targets (and regressions) are visible straight from the job page.
+    # Older/partial BENCH files have no event_mix — skip with a note
+    # instead of asserting the full schema.
     categories = []
     for point in points:
-        for name in point.get("event_mix", {}):
+        mix = point.get("event_mix")
+        if not isinstance(mix, dict):
+            continue
+        for name in mix:
             if name not in categories:
                 categories.append(name)
     if categories:
@@ -71,13 +109,19 @@ def main() -> int:
         print(f"| nodes | {header} |")
         print("|------:|" + "|".join("---:" for _ in categories) + "|")
         for point in points:
-            mix = point.get("event_mix", {})
-            total = max(point.get("sim_events", 0), 1)
+            mix = point.get("event_mix")
+            if not isinstance(mix, dict):
+                mix = {}
+            total = max(int(_num(point.get("sim_events"))), 1)
             cells = []
             for name in categories:
-                executed = mix.get(name, {}).get("executed", 0)
+                entry = mix.get(name)
+                executed = int(_num(entry.get("executed"))) if isinstance(entry, dict) else 0
                 cells.append(f"{executed:,} ({100.0 * executed / total:.0f}%)")
             print(f"| {point.get('nodes', '?')} | " + " | ".join(cells) + " |")
+    elif points:
+        print("\n_event_mix absent from every point (pre-PR-5 BENCH file?) — "
+              "per-category table skipped_")
     return 0
 
 

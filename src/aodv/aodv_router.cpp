@@ -110,7 +110,8 @@ void AodvRouter::discover(net::NodeId dest) {
   auto& pending = discoveries_[dest];
   if (pending.timer != nullptr && pending.timer->pending()) return;  // in progress
   if (pending.timer == nullptr) {
-    pending.timer = std::make_unique<sim::Timer>(sim_, [this, dest] { discovery_timeout(dest); });
+    pending.timer = std::make_unique<sim::Timer>(
+        sim_, [this, dest] { discovery_timeout(dest); }, sim::EventCategory::router);
   }
   ++pending.attempts;
 

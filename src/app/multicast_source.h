@@ -19,9 +19,12 @@ class MulticastSource {
   using SendFn = std::function<void(std::uint16_t payload_bytes)>;
 
   MulticastSource(sim::Simulator& sim, Workload workload, SendFn send)
-      : sim_{sim}, workload_{workload}, send_{std::move(send)}, timer_{sim, [this] {
-          tick();
-        }} {}
+      : sim_{sim},
+        workload_{workload},
+        send_{std::move(send)},
+        // Application traffic stays under `other` (PR 5's category split
+        // covers kernel/MAC/phy/router/fault events only).
+        timer_{sim, [this] { tick(); }, sim::EventCategory::other} {}
 
   // Schedules the packet train; call once before the run.
   void start() {

@@ -1,8 +1,8 @@
 #include "harness/experiment.h"
 
-#include <cerrno>
-#include <cstdio>
 #include <utility>
+
+#include "sim/env.h"
 
 namespace ag::harness {
 
@@ -58,19 +58,8 @@ SeriesPoint run_point(ScenarioConfig config, std::uint32_t seeds, double x) {
 }
 
 std::uint32_t seeds_from_env(std::uint32_t fallback) {
-  const char* env = std::getenv("AG_SEEDS");
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0' || v <= 0 || v > 1'000'000) {
-    std::fprintf(stderr,
-                 "warning: ignoring invalid AG_SEEDS=\"%s\" (want a positive "
-                 "integer); using %u seeds\n",
-                 env, fallback);
-    return fallback;
-  }
-  return static_cast<std::uint32_t>(v);
+  // All AG_* knob reads live in sim/env.h (ag-lint rule `env`).
+  return sim::env_positive_u32("AG_SEEDS", fallback, 1'000'000);
 }
 
 }  // namespace ag::harness

@@ -76,8 +76,9 @@ Network::Network(const ScenarioConfig& config)
       wants_member_[i] = 1;
       const auto delay = sim::Duration::us(
           join_rng.uniform_int(0, std::max<std::int64_t>(config_.join_spread.count_us(), 1)));
-      sim_.schedule_after(delay,
-                          [this, i] { stacks_[i]->router->join_group(kGroup); });
+      sim_.schedule_after(
+          delay, [this, i] { stacks_[i]->router->join_group(kGroup); },
+          sim::EventCategory::router);
     }
   }
   source_->start();

@@ -20,6 +20,8 @@ CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, const phy::Channel& cha
       rng_{rng},
       cw_{params.cw_min},
       batched_{batched_backoff_enabled()},
+      // Nominal category only: every restart() below passes its own
+      // (mac_slot or mac_difs depending on the phase being armed).
       access_timer_{sim,
                     [this] {
                       if (batched_) {
@@ -29,7 +31,8 @@ CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, const phy::Channel& cha
                       } else {
                         on_difs_elapsed();
                       }
-                    }},
+                    },
+                    sim::EventCategory::mac_slot},
       ack_timer_{sim, [this] { on_ack_timeout(); }, sim::EventCategory::mac_ack_timeout} {
   // Mirror of the channel's per-receiver delay quantization
   // (floor(d/c) + 1 us, d <= transmission range).
@@ -313,26 +316,31 @@ void CsmaMac::on_frame_received(const Frame& frame) {
 }
 
 void CsmaMac::send_ack(net::NodeId to, std::uint16_t seq) {
-  sim_.schedule_after(params_.sifs, [this, to, seq] {
-    if (radio_.transmitting()) {
-      // Rare overlap: our own frame went on the air before the SIFS
-      // expired. The ACK is silently lost and the sender will retry —
-      // counted so the loss is visible instead of indistinguishable
-      // from an ACK collision.
-      ++counters_.acks_suppressed;
-      return;
-    }
-    // While awaiting an ACK ourselves, transmit without disturbing that
-    // state machine (on_transmit_complete ignores the completion).
-    if (state_ == State::contending) {
-      pause_contention();
-      state_ = State::tx_ack;
-    } else if (state_ == State::idle) {
-      state_ = State::tx_ack;
-    }
-    ++counters_.acks_sent;
-    radio_.transmit(Frame{FrameKind::ack, self_, to, seq, {}});
-  });
+  sim_.schedule_after(
+      params_.sifs,
+      [this, to, seq] {
+        if (radio_.transmitting()) {
+          // Rare overlap: our own frame went on the air before the SIFS
+          // expired. The ACK is silently lost and the sender will retry —
+          // counted so the loss is visible instead of indistinguishable
+          // from an ACK collision.
+          ++counters_.acks_suppressed;
+          return;
+        }
+        // While awaiting an ACK ourselves, transmit without disturbing that
+        // state machine (on_transmit_complete ignores the completion).
+        if (state_ == State::contending) {
+          pause_contention();
+          state_ = State::tx_ack;
+        } else if (state_ == State::idle) {
+          state_ = State::tx_ack;
+        }
+        ++counters_.acks_sent;
+        radio_.transmit(Frame{FrameKind::ack, self_, to, seq, {}});
+      },
+      // Accounted under `other` since PR 5 introduced the event mix;
+      // kept there explicitly so the mix stays comparable across PRs.
+      sim::EventCategory::other);
 }
 
 }  // namespace ag::mac

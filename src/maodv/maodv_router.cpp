@@ -106,8 +106,9 @@ void MaodvRouter::start_join(net::GroupId group, bool repair, net::NodeId merge_
 
   JoinAttempt& attempt = joins_[group];
   if (attempt.timer == nullptr) {
-    attempt.timer =
-        std::make_unique<sim::Timer>(simulator(), [this, group] { join_wait_expired(group); });
+    attempt.timer = std::make_unique<sim::Timer>(
+        simulator(), [this, group] { join_wait_expired(group); },
+        sim::EventCategory::router);
   }
   if (attempt.attempts == 0) {
     attempt.repair = repair;

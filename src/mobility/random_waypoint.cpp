@@ -40,8 +40,11 @@ void RandomWaypoint::start_next_leg(std::size_t node) {
   leg.depart = sim_.now();
   leg.arrive = sim_.now() + sim::Duration::seconds(travel_s);
 
+  // Mobility legs stay under `other` (see sim::EventCategory — no
+  // dedicated mobility bucket; they are a vanishing share of the mix).
   sim_.schedule_at(leg.arrive + sim::Duration::seconds(pause_s),
-                   [this, node] { start_next_leg(node); });
+                   [this, node] { start_next_leg(node); },
+                   sim::EventCategory::other);
 }
 
 double RandomWaypoint::max_speed_mps() const {

@@ -17,10 +17,12 @@ PacketPool& PacketPool::local() {
 }
 
 PacketPool::~PacketPool() {
+  // ag-lint: allow(rawalloc, the pool IS the allocator: slab teardown)
   for (Packet* p : free_) delete p;
 }
 
 void PacketPool::clear() {
+  // ag-lint: allow(rawalloc, the pool IS the allocator: slab teardown)
   for (Packet* p : free_) delete p;
   free_.clear();
 }
@@ -35,6 +37,7 @@ PacketPtr PacketPool::make(Packet&& packet) {
     *raw = std::move(packet);
   } else {
     ++c.pool_misses;
+    // ag-lint: allow(rawalloc, the pool IS the allocator: slab creation)
     raw = new Packet(std::move(packet));
   }
   return PacketPtr{raw, &PacketPool::recycle};
@@ -47,6 +50,7 @@ void PacketPool::recycle(const Packet* packet) {
   PacketPool& pool = local();
   auto* raw = const_cast<Packet*>(packet);
   if (pool.free_.size() >= kMaxFree) {
+    // ag-lint: allow(rawalloc, the pool IS the allocator: overflow release)
     delete raw;
     return;
   }

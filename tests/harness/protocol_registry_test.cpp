@@ -113,8 +113,8 @@ TEST_P(EveryProtocol, DeliversAcrossALine) {
 INSTANTIATE_TEST_SUITE_P(
     Registry, EveryProtocol,
     ::testing::ValuesIn(ProtocolRegistry::instance().all()),
-    [](const ::testing::TestParamInfo<Protocol>& info) {
-      return ProtocolRegistry::instance().name_of(info.param);
+    [](const ::testing::TestParamInfo<Protocol>& param_info) {
+      return ProtocolRegistry::instance().name_of(param_info.param);
     });
 
 }  // namespace

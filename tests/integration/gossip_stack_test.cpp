@@ -174,8 +174,8 @@ TEST_P(GossipOverEverySubstrate, RecoversInjectedLoss) {
 
 INSTANTIATE_TEST_SUITE_P(
     Registry, GossipOverEverySubstrate, ::testing::ValuesIn(gossip_substrates()),
-    [](const ::testing::TestParamInfo<harness::Protocol>& info) {
-      return harness::ProtocolRegistry::instance().name_of(info.param);
+    [](const ::testing::TestParamInfo<harness::Protocol>& param_info) {
+      return harness::ProtocolRegistry::instance().name_of(param_info.param);
     });
 
 TEST(GossipStack, WalkLoadStaysBoundedWhenNothingIsLost) {

@@ -1,0 +1,27 @@
+// Fixture: every violation below carries an ag-lint allow annotation
+// with a reason, so the file must lint clean — this pins the
+// suppression mechanism itself (same-line, next-line, and file forms).
+#include <cstdlib>
+#include <unordered_map>
+
+// ag-lint: allow-file(determinism, fixture exercising the file-wide form)
+#include <chrono>
+
+namespace fixture {
+
+struct Allowed {
+  // ag-lint: allow(unordered, reference backend kept for A/B bisection)
+  std::unordered_map<int, int> reference_backend;
+
+  long wall() {
+    // covered by the allow-file(determinism) above
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  bool knob() {
+    const char* v = std::getenv("AG_FIXTURE");  // ag-lint: allow(env, fixture A/B toggle)
+    return v != nullptr;
+  }
+};
+
+}  // namespace fixture

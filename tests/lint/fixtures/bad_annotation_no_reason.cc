@@ -1,0 +1,13 @@
+// Fixture: an allow annotation without a reason is itself a finding
+// (`annotation`) and does NOT suppress — the unordered use below must
+// still be flagged.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Unjustified {
+  // ag-lint: allow(unordered)
+  std::unordered_map<int, int> table;
+};
+
+}  // namespace fixture

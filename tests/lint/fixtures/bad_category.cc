@@ -1,0 +1,24 @@
+// Fixture: the `category` rule must fire on schedule/Timer call sites
+// that do not pass an explicit sim::EventCategory (and do not forward a
+// `category` parameter).
+namespace fixture {
+
+struct Sim {
+  template <typename A, typename F>
+  int schedule_after(A, F) { return 0; }
+  template <typename A, typename F, typename C>
+  int schedule_after(A, F, C) { return 0; }
+};
+
+inline void bad(Sim& sim) {
+  sim.schedule_after(10, [] {});  // flagged: no category argument
+}
+
+struct HasTimer {
+  Sim& sim;
+  int beacon_timer_;
+  // flagged: timer member constructed without a category
+  explicit HasTimer(Sim& s) : sim{s}, beacon_timer_{0} {}
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: the `determinism` rule must fire on every ambient
+// randomness/wall-clock source (simulation randomness comes from
+// sim::RngFactory streams, time from the sim clock).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline int bad_sources() {
+  std::random_device rd;                       // flagged
+  std::srand(42);                              // flagged
+  int r = std::rand();                         // flagged (qualified form)
+  r += rand();                                 // flagged
+  long t = time(nullptr);                      // flagged
+  auto wall = std::chrono::steady_clock::now();  // flagged
+  (void)wall;
+  (void)rd;
+  // airtime_of(frame) and run.time() style member calls must NOT match:
+  // handled by lookbehind — see clean usage below.
+  return r + static_cast<int>(t);
+}
+
+struct Clocked {
+  double airtime_of(int) { return 0.0; }  // "time(" substring, clean
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the `env` rule must fire on getenv/setenv outside
+// src/sim/env.h — AG_* knobs are parsed in exactly one place.
+#include <cstdlib>
+
+namespace fixture {
+
+inline bool bad_knob() {
+  const char* v = std::getenv("AG_MY_KNOB");  // flagged
+  setenv("AG_MY_KNOB", "off", 1);             // flagged
+  return v != nullptr;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the `unordered` rule must fire on hash-map containers whose
+// iteration order can leak into simulation results.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct SeenTable {
+  // Both of these must be flagged; a commented-out std::unordered_map
+  // and the "std::unordered_set" inside this string must NOT be:
+  const char* doc = "std::unordered_set is banned";
+  std::unordered_map<int, int> seq_by_node;
+  std::unordered_set<long> seen;
+};
+
+}  // namespace fixture

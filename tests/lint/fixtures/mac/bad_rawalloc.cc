@@ -1,0 +1,26 @@
+// Fixture: lives under a mac/ path component, so the `rawalloc`
+// hot-path rule applies — raw allocation must be flagged.
+namespace fixture {
+
+struct Packet {
+  int bytes[64];
+};
+
+struct BadQueue {
+  Packet* slot{nullptr};
+
+  void push() {
+    slot = new Packet();  // flagged: raw new in the hot path
+  }
+  void pop() {
+    delete slot;  // flagged: raw delete in the hot path
+    slot = nullptr;
+  }
+
+  // Deleted members are declarations, not allocation — must NOT fire:
+  BadQueue(const BadQueue&) = delete;
+  BadQueue& operator=(const BadQueue&) = delete;
+  BadQueue() = default;
+};
+
+}  // namespace fixture

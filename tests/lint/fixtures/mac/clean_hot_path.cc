@@ -1,0 +1,26 @@
+// Fixture: hot-path (mac/) file that follows every rule — must lint
+// clean. Pins the false-positive guards: deleted members, "new" in
+// comments/strings, member calls containing "time(", ordered containers.
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Frame {
+  int id;
+};
+
+struct CleanQueue {
+  // raw `new Packet` would be flagged here; shared ownership is fine:
+  std::vector<std::shared_ptr<const Frame>> in_flight;
+  std::map<int, int> last_seq;  // ordered: iteration order is stable
+
+  double airtime_of(const Frame&) const { return 0.0; }  // not time()
+
+  CleanQueue(const CleanQueue&) = delete;  // declaration, not deallocation
+  CleanQueue& operator=(const CleanQueue&) = delete;
+  CleanQueue() = default;
+};
+
+}  // namespace fixture

@@ -70,7 +70,9 @@ class OdmrpNetwork {
 
 std::vector<mobility::Vec2> line(std::size_t n, double spacing = 80.0) {
   std::vector<mobility::Vec2> out;
-  for (std::size_t i = 0; i < n; ++i) out.push_back({i * spacing, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<double>(i) * spacing, 0.0});
+  }
   return out;
 }
 
