@@ -1,0 +1,204 @@
+// Custody-tier figure: "users served" under duty-cycled user sessions,
+// swept over custody budget x duty cycle x churn. Every member node
+// multiplexes 200 logical users (SessionManager), each subscribing at a
+// staggered start and sleeping per its duty cycle; a delivery only
+// counts for a user that is awake (or wakes within the wake TTL). The
+// custody tier re-offers undeliverable payloads on contact, after
+// reboots, and across the partition heal via gateway nodes, so the
+// budget axis shows how much store-and-forward buys back from users the
+// plain protocols miss. budget=0 is the custody-off baseline in-figure.
+//
+// Runs every registered protocol by default (custody is a decorator, so
+// all five substrates get the tier for free). At full scale the paper's
+// 40-node area is kept; --mega instead runs 10000 nodes with every node
+// a member, i.e. 10000 x 200 = 2M logical users, as a scale exercise.
+//
+// Usage: figure_dtn [--smoke] [--mega] [--protocols=name,name]
+//   --smoke shrinks the grid for CI (short duration, 2x1x2 grid).
+//   --mega  10k nodes / 2M users, one cell (implies the smoke duration).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "figure_common.h"
+
+namespace {
+
+// One (duty, churn, budget) grid cell: a single-value sweep across all
+// protocols, timed like scale_smoke so BENCH_dtn.json doubles as a perf
+// record for the custody tier.
+struct CellReport {
+  std::string label;
+  double duty;
+  double churn;
+  double budget;
+  std::size_t nodes;
+  double wall_s;
+  std::uint64_t sim_events;
+  ag::harness::ExperimentResult result;  // one point per series
+};
+
+std::uint64_t total_sim_events(const ag::harness::ExperimentResult& result) {
+  std::uint64_t events = 0;
+  for (const ag::harness::FigureSeries& s : result.series) {
+    for (const ag::harness::SeriesPoint& p : s.points) {
+      for (const ag::stats::RunResult& r : p.runs) events += r.totals.sim_events;
+    }
+  }
+  return events;
+}
+
+bool write_dtn_json(const std::string& path, const std::vector<CellReport>& cells,
+                    std::uint32_t seeds, std::uint32_t sessions_per_node) {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"experiment\": \"dtn\",\n";
+  out << "  \"param\": \"custody_max_msgs\",\n";
+  out << "  \"seeds\": " << seeds << ",\n";
+  out << "  \"sessions_per_node\": " << sessions_per_node << ",\n";
+  out << "  \"points\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellReport& cell = cells[i];
+    const double events_per_sec =
+        cell.wall_s > 0.0 ? static_cast<double>(cell.sim_events) / cell.wall_s : 0.0;
+    out << "    {\"label\": \"" << cell.label << "\", \"nodes\": " << cell.nodes
+        << ", \"duty\": " << cell.duty << ", \"churn_per_min\": " << cell.churn
+        << ", \"custody_max_msgs\": " << cell.budget
+        << ", \"wall_clock_s\": " << cell.wall_s
+        << ", \"sim_events\": " << cell.sim_events
+        << ", \"events_per_sec\": " << events_per_sec << ", \"series\": [\n";
+    for (std::size_t s = 0; s < cell.result.series.size(); ++s) {
+      const ag::harness::FigureSeries& series = cell.result.series[s];
+      const ag::harness::SeriesPoint& p = series.points.front();
+      out << "      {\"name\": \"" << series.name << "\""
+          << ", \"received_mean\": " << p.received.mean
+          << ", \"delivery_ratio\": " << p.mean_delivery_ratio
+          << ", \"transmissions\": " << p.mean_transmissions
+          << ", \"sessions\": " << p.mean_sessions
+          << ", \"users_served\": " << p.mean_users_served
+          << ", \"user_eligible\": " << p.mean_user_eligible
+          << ", \"users_served_ratio\": " << p.mean_users_ratio
+          << ", \"custody_stored\": " << p.mean_custody_stored
+          << ", \"custody_offers\": " << p.mean_custody_offers
+          << ", \"custody_accepted\": " << p.mean_custody_accepted << "}"
+          << (s + 1 < cell.result.series.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ag;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool mega = bench::has_flag(argc, argv, "--mega");
+  const std::uint32_t seeds = harness::seeds_from_env(smoke || mega ? 1 : 2);
+  const std::vector<harness::Protocol> protocols = bench::protocols_from_cli(
+      argc, argv, harness::ProtocolRegistry::instance().all());
+  constexpr std::uint32_t kSessionsPerNode = 200;
+
+  // Fault background shared by every cell (the figure_churn recipe):
+  // 15 % of nodes crash with state wipe and a mid-run partition cuts the
+  // area in half — exactly the regimes custody is supposed to bridge.
+  harness::ScenarioConfig base = bench::paper_base();
+  base.with_range(65.0).with_max_speed(1.0);
+  base.faults.spec.crash_fraction = 0.15;
+  base.faults.spec.crash_downtime_s = smoke || mega ? 20.0 : 60.0;
+  base.faults.spec.partition_duration_s = smoke || mega ? 20.0 : 60.0;
+  base.faults.spec.churn_downtime_s = smoke || mega ? 15.0 : 30.0;
+  if (smoke || mega) {
+    base.duration = sim::SimTime::seconds(120.0);
+    base.workload.start = sim::SimTime::seconds(20.0);
+    base.workload.end = sim::SimTime::seconds(100.0);
+  }
+  // User sessions: 200 logical users per member node, 60 s activity
+  // period, subscriptions staggered across the first half of the run.
+  base.sessions.per_node = kSessionsPerNode;
+  base.sessions.period_s = 60.0;
+  base.sessions.wake_ttl_s = 30.0;
+  base.sessions.subscribe_spread_s = smoke || mega ? 40.0 : 200.0;
+  // Custody shape (the budget axis only sweeps max_messages): two
+  // gateway nodes bridge the partition cut with 4x the per-node budget.
+  base.custody.gateway_count = 2;
+  if (mega) {
+    // 10000 nodes, every node a member: 10000 x 200 = 2M logical users.
+    // Range scales as in scale_smoke to hold mean degree constant.
+    base.with_nodes(10000).with_range(75.0 * std::sqrt(40.0 / 10000.0));
+    base.member_fraction = 1.0;
+  }
+
+  const std::vector<double> duties =
+      smoke ? std::vector<double>{1.0, 0.25}
+            : mega ? std::vector<double>{0.25}
+                   : std::vector<double>{1.0, 0.5, 0.25};
+  const std::vector<double> churns =
+      smoke || mega ? std::vector<double>{4} : std::vector<double>{0, 4};
+  const std::vector<double> budgets =
+      smoke ? std::vector<double>{0, 64}
+            : mega ? std::vector<double>{64} : std::vector<double>{0, 16, 64, 256};
+
+  std::printf("== Custody tier x user sessions (%u users/node%s) ==\n",
+              kSessionsPerNode, mega ? ", --mega: 2M users total" : "");
+
+  std::vector<CellReport> cells;
+  for (const double duty : duties) {
+    for (const double churn : churns) {
+      for (const double budget : budgets) {
+        harness::ScenarioConfig cell_base = base;
+        cell_base.sessions.duty = duty;
+        cell_base.faults.spec.churn_per_min = churn;
+        char label[96];
+        std::snprintf(label, sizeof label, "duty=%.2f churn=%g budget=%g",
+                      duty, churn, budget);
+        std::printf("-- %s --\n", label);
+        std::fflush(stdout);
+        // ag-lint: allow(determinism, wall-clock measures the harness itself)
+        const auto t0 = std::chrono::steady_clock::now();
+        harness::ExperimentResult result =
+            harness::Experiment::sweep("custody_max_msgs", {budget})
+                .base(cell_base)
+                .protocols(protocols)
+                .seeds(seeds)
+                .parallel()
+                .name("dtn")
+                .run();
+        const double wall_s =
+            // ag-lint: allow(determinism, wall-clock measures the harness itself)
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        for (const harness::FigureSeries& s : result.series) {
+          const harness::SeriesPoint& p = s.points.front();
+          std::printf("  %-16s delivery=%.2f users=%llu/%llu (%.2f) "
+                      "custody stored=%llu offered=%llu accepted=%llu\n",
+                      s.name.c_str(), p.mean_delivery_ratio,
+                      static_cast<unsigned long long>(p.mean_users_served),
+                      static_cast<unsigned long long>(p.mean_user_eligible),
+                      p.mean_users_ratio,
+                      static_cast<unsigned long long>(p.mean_custody_stored),
+                      static_cast<unsigned long long>(p.mean_custody_offers),
+                      static_cast<unsigned long long>(p.mean_custody_accepted));
+        }
+        std::fflush(stdout);
+        const std::uint64_t events = total_sim_events(result);
+        cells.push_back({label, duty, churn, budget, cell_base.node_count, wall_s,
+                         events, std::move(result)});
+      }
+    }
+  }
+
+  if (!write_dtn_json("BENCH_dtn.json", cells, seeds, kSessionsPerNode)) {
+    std::fprintf(stderr, "error: failed to write BENCH_dtn.json\n");
+    return 1;
+  }
+  std::printf("(json written to BENCH_dtn.json; %u seeds; "
+              "scripts/scale_summary.py renders it too)\n", seeds);
+  return 0;
+}

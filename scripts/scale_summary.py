@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Renders BENCH_scale.json as a GitHub-flavored markdown table.
+"""Renders BENCH_scale.json (or BENCH_dtn.json) as a markdown table.
 
 Used by the Release CI job to append a wall-clock + events/sec summary to
 $GITHUB_STEP_SUMMARY, so perf regressions are visible on the PR page
-without downloading the artifact.
+without downloading the artifact. BENCH_dtn.json shares the same points/
+series shape (each point labels a grid cell instead of a node count), so
+one renderer covers both; the "users served" column shows the session
+layer's served/eligible ratio when a series carries session metrics and
+an em-dash placeholder when it does not (every pre-custody BENCH file).
 
 Runs under `if: always()`, so it must exit 0 and print something
 readable for every degraded input: missing file, truncated JSON, a
@@ -12,6 +16,7 @@ can kill scale_smoke mid-sweep), or points without event_mix (older
 BENCH files predate the per-category accounting).
 
 Usage: scale_summary.py BENCH_scale.json
+       scale_summary.py BENCH_dtn.json
 """
 import json
 import sys
@@ -22,16 +27,36 @@ def _num(value, default=0):
     return value if isinstance(value, (int, float)) and not isinstance(value, bool) else default
 
 
-def _fmt_protocols(point):
+def _series_of(point):
     series = point.get("series", [])
     if not isinstance(series, list):
-        return "?"
-    parts = []
-    for s in series:
-        if not isinstance(s, dict):
-            continue
-        parts.append(f"{s.get('name', '?')}={_num(s.get('delivery_ratio')):.2f}")
+        return []
+    return [s for s in series if isinstance(s, dict)]
+
+
+def _fmt_protocols(point):
+    parts = [
+        f"{s.get('name', '?')}={_num(s.get('delivery_ratio')):.2f}"
+        for s in _series_of(point)
+    ]
     return ", ".join(parts) if parts else "_n/a_"
+
+
+def _fmt_users_served(point):
+    """Per-protocol users-served ratio, or a placeholder when the point
+    carries no session metrics (every pre-custody BENCH file)."""
+    parts = [
+        f"{s.get('name', '?')}={_num(s.get('users_served_ratio')):.2f}"
+        for s in _series_of(point)
+        if "users_served_ratio" in s
+    ]
+    return ", ".join(parts) if parts else "—"
+
+
+def _point_label(point):
+    """scale points are labeled by node count; dtn points carry an
+    explicit grid-cell label."""
+    return point.get("label", point.get("nodes", "?"))
 
 
 def main() -> int:
@@ -51,22 +76,32 @@ def main() -> int:
               f"{type(data).__name__} instead of an object_")
         return 0
 
+    experiment = data.get("experiment", "scale_smoke")
+    if experiment == "dtn":
+        title = "Custody tier × user sessions (`figure_dtn`)"
+    else:
+        title = f"Scaling smoke (`{experiment}`)"
     seeds = data.get("seeds", "?")
-    index = json.dumps(data.get("spatial_index", "?"))
-    dense = json.dumps(data.get("dense_tables", "?"))
-    batched = json.dumps(data.get("batched_backoff", "?"))
-    print("### Scaling smoke (`scale_smoke`)\n")
+    print(f"### {title}\n")
+    if experiment == "dtn":
+        print(f"seeds: {seeds} · users/node: {data.get('sessions_per_node', '?')}\n")
+    else:
+        index = json.dumps(data.get("spatial_index", "?"))
+        dense = json.dumps(data.get("dense_tables", "?"))
+        batched = json.dumps(data.get("batched_backoff", "?"))
+        print(
+            f"seeds: {seeds} · spatial index: {index} · dense tables: {dense}"
+            f" · batched backoff: {batched}\n"
+        )
     print(
-        f"seeds: {seeds} · spatial index: {index} · dense tables: {dense}"
-        f" · batched backoff: {batched}\n"
+        "| point | wall (s) | sim events | events/sec "
+        "| events elided | effective ev/sec | per-protocol delivery "
+        "| users served |"
     )
     print(
-        "| nodes | wall (s) | sim events | events/sec "
-        "| events elided | effective ev/sec | per-protocol delivery |"
-    )
-    print(
-        "|------:|---------:|-----------:|-----------:"
-        "|--------------:|-----------------:|:----------------------|"
+        "|:------|---------:|-----------:|-----------:"
+        "|--------------:|-----------------:|:----------------------"
+        "|:-------------|"
     )
     points = data.get("points", [])
     if not isinstance(points, list):
@@ -75,20 +110,21 @@ def main() -> int:
     if not points:
         # Placeholder row: the budget tripped before the first point (or
         # the schema changed) — keep the table well-formed either way.
-        print("| _no points recorded_ | — | — | — | — | — | — |")
+        print("| _no points recorded_ | — | — | — | — | — | — | — |")
     for point in points:
         elided = _num(point.get("mac_slots_elided")) + _num(point.get("mac_difs_elided"))
         effective = _num(
             point.get("effective_events_per_sec"), _num(point.get("events_per_sec"))
         )
         print(
-            f"| {point.get('nodes', '?')} "
+            f"| {_point_label(point)} "
             f"| {_num(point.get('wall_clock_s')):.2f} "
             f"| {_num(point.get('sim_events')):,} "
             f"| {_num(point.get('events_per_sec')):,.0f} "
             f"| {elided:,} "
             f"| {effective:,.0f} "
-            f"| {_fmt_protocols(point)} |"
+            f"| {_fmt_protocols(point)} "
+            f"| {_fmt_users_served(point)} |"
         )
 
     # Event-mix table: share of executed events per category, so elision
@@ -106,8 +142,8 @@ def main() -> int:
     if categories:
         print("\n#### Event mix (executed events per category)\n")
         header = " | ".join(categories)
-        print(f"| nodes | {header} |")
-        print("|------:|" + "|".join("---:" for _ in categories) + "|")
+        print(f"| point | {header} |")
+        print("|:------|" + "|".join("---:" for _ in categories) + "|")
         for point in points:
             mix = point.get("event_mix")
             if not isinstance(mix, dict):

@@ -194,6 +194,11 @@ void AodvRouter::on_packet_received(const net::Packet& packet, net::NodeId from)
           [&](const gossip::NearestMemberMsg&) {
             if (packet.dst == self_ && local_deliver_) local_deliver_(packet, from);
           },
+          [&](const dtn::CustodyHandoffMsg&) {
+            // One-hop custody handoffs are consumed by the CustodyRouter
+            // decorator before the wrapped router's listener runs; without
+            // the decorator nothing sends them.
+          },
       },
       packet.payload);
 }

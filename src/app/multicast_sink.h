@@ -12,6 +12,7 @@
 
 #include "net/data.h"
 #include "net/dense_map.h"
+#include "session/session_manager.h"
 #include "sim/simulator.h"
 
 namespace ag::app {
@@ -68,7 +69,14 @@ class MulticastSink {
     const double latency = (sim_.now() - data.sent_at).to_seconds();
     latency_sum_s_ += latency;
     if (latency > latency_max_s_) latency_max_s_ = latency;
+    // Fan the node-level delivery out to the hosted user sessions (the
+    // "users served" metric). Fires only for uniquely counted deliveries,
+    // so session credit inherits the sink's MsgId dedup.
+    if (sessions_ != nullptr) sessions_->on_unique_delivery(data, sim_.now());
   }
+
+  // Attaches the node's user-session multiplexer (nullptr = none hosted).
+  void attach_sessions(session::SessionManager* sessions) { sessions_ = sessions; }
 
   [[nodiscard]] std::uint64_t received() const { return received_; }
   [[nodiscard]] std::uint64_t via_gossip() const { return via_gossip_; }
@@ -86,6 +94,7 @@ class MulticastSink {
 
  private:
   sim::Simulator& sim_;
+  session::SessionManager* sessions_{nullptr};
   bool tracking_{false};
   bool subscribed_{false};
   std::vector<Interval> intervals_;

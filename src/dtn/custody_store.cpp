@@ -1,0 +1,47 @@
+#include "dtn/custody_store.h"
+
+namespace ag::dtn {
+
+void CustodyStore::drop_front(std::uint64_t& counter) {
+  const Entry& e = entries_.front();
+  keys_.erase(net::msg_key(net::MsgId{e.data.origin, e.data.seq}));
+  bytes_ -= e.data.payload_bytes;
+  entries_.pop_front();
+  ++counter;
+}
+
+void CustodyStore::expire(sim::SimTime now) {
+  while (!entries_.empty() && entries_.front().expires_at <= now) {
+    drop_front(counters_.evicted_ttl);
+  }
+}
+
+bool CustodyStore::store(const net::MulticastData& d, sim::SimTime now) {
+  expire(now);
+  if (max_messages_ == 0 || max_bytes_ == 0) return false;  // armed but empty
+  if (d.payload_bytes > max_bytes_) return false;           // can never fit
+  if (!keys_.insert(net::msg_key(net::MsgId{d.origin, d.seq}))) {
+    ++counters_.refused_duplicate;
+    return false;
+  }
+  while (entries_.size() >= max_messages_ ||
+         bytes_ + d.payload_bytes > max_bytes_) {
+    drop_front(counters_.evicted_capacity);
+  }
+  entries_.push_back({d, now + ttl_});
+  bytes_ += d.payload_bytes;
+  ++counters_.stored;
+  return true;
+}
+
+void CustodyStore::collect_oldest(sim::SimTime now, std::uint32_t batch,
+                                  std::vector<net::MulticastData>& out) {
+  expire(now);
+  std::uint32_t taken = 0;
+  for (const Entry& e : entries_) {
+    if (taken++ >= batch) break;
+    out.push_back(e.data);
+  }
+}
+
+}  // namespace ag::dtn

@@ -1,0 +1,75 @@
+// Per-node custody store: multicast payloads held for later re-offer,
+// under explicit budgets. Entries live in insertion order, which makes
+// every eviction decision deterministic: TTL expiry walks the front of
+// the queue (same TTL for every entry, so expiry order == insertion
+// order) and capacity pressure drops the oldest entry first. Keyed by
+// MsgId, so a payload is never stored twice. Modeled as stable storage:
+// a crash/reboot wipe does not clear the store (the DTN custody promise
+// is exactly that the message survives the disruption).
+#ifndef AG_DTN_CUSTODY_STORE_H
+#define AG_DTN_CUSTODY_STORE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/data.h"
+#include "net/dense_map.h"
+#include "sim/time.h"
+
+namespace ag::dtn {
+
+class CustodyStore {
+ public:
+  CustodyStore(std::uint32_t max_messages, std::uint32_t max_bytes,
+               sim::Duration ttl)
+      : max_messages_{max_messages}, max_bytes_{max_bytes}, ttl_{ttl} {}
+
+  // Takes custody of `d` at `now`. Duplicates (by MsgId) and zero budgets
+  // are refused; capacity pressure evicts expired entries first, then the
+  // oldest live one. Returns true when the payload was stored fresh.
+  bool store(const net::MulticastData& d, sim::SimTime now);
+
+  // Drops every entry whose TTL elapsed by `now` (called lazily from
+  // store/collect — custody needs no timer events of its own).
+  void expire(sim::SimTime now);
+
+  // Appends up to `batch` live entries into `out`, oldest first (the
+  // deterministic re-offer order). Runs expire(now) first.
+  void collect_oldest(sim::SimTime now, std::uint32_t batch,
+                      std::vector<net::MulticastData>& out);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool holds(const net::MsgId& id) const {
+    return keys_.contains(net::msg_key(id));
+  }
+
+  struct Counters {
+    std::uint64_t stored{0};             // fresh payloads accepted
+    std::uint64_t refused_duplicate{0};  // already under custody
+    std::uint64_t evicted_ttl{0};
+    std::uint64_t evicted_capacity{0};
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct Entry {
+    net::MulticastData data;
+    sim::SimTime expires_at;
+  };
+  void drop_front(std::uint64_t& counter);
+
+  std::uint32_t max_messages_;
+  std::uint32_t max_bytes_;
+  sim::Duration ttl_;
+  std::deque<Entry> entries_;  // insertion order == eviction order
+  net::DenseSet keys_;         // MsgIds currently held
+  std::uint64_t bytes_{0};
+  Counters counters_;
+};
+
+}  // namespace ag::dtn
+
+#endif  // AG_DTN_CUSTODY_STORE_H

@@ -1,0 +1,22 @@
+// Wire message of the custody tier: a one-hop handoff carrying a stored
+// multicast payload to a freshly met neighbor. Custody handoffs ride the
+// normal MAC unicast path (airtime, contention, ACK/retry) but are
+// intercepted by the CustodyRouter decorator before the wrapped protocol
+// ever sees them, so no routing protocol needs to understand custody.
+#ifndef AG_DTN_MESSAGES_H
+#define AG_DTN_MESSAGES_H
+
+#include <cstdint>
+
+#include "net/data.h"
+
+namespace ag::dtn {
+
+struct CustodyHandoffMsg {
+  net::MulticastData data;        // the payload under custody
+  std::uint8_t from_gateway{0};   // 1 when a designated gateway re-offered it
+};
+
+}  // namespace ag::dtn
+
+#endif  // AG_DTN_MESSAGES_H

@@ -19,6 +19,13 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
   std::uint64_t probes_sum = 0;
   std::uint64_t pool_hits_sum = 0;
   std::uint64_t pool_misses_sum = 0;
+  std::uint64_t sessions_sum = 0;
+  std::uint64_t served_sum = 0;
+  std::uint64_t eligible_sum = 0;
+  double users_ratio_sum = 0.0;
+  std::uint64_t custody_stored_sum = 0;
+  std::uint64_t custody_offers_sum = 0;
+  std::uint64_t custody_accepted_sum = 0;
   for (stats::RunResult& r : runs) {
     for (double v : r.received_per_member()) all_received.push_back(v);
     goodput_sum += r.mean_goodput_pct();
@@ -30,6 +37,14 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     probes_sum += r.totals.table_probes;
     pool_hits_sum += r.totals.pool_hits;
     pool_misses_sum += r.totals.pool_misses;
+    point.dtn_active = point.dtn_active || r.totals.dtn_active;
+    sessions_sum += r.totals.sessions.sessions;
+    served_sum += r.totals.sessions.users_served;
+    eligible_sum += r.totals.sessions.user_eligible;
+    users_ratio_sum += r.totals.sessions.served_ratio();
+    custody_stored_sum += r.totals.custody_stored;
+    custody_offers_sum += r.totals.custody_offers;
+    custody_accepted_sum += r.totals.custody_accepted;
     point.runs.push_back(std::move(r));
   }
   point.received = stats::summarize(all_received);
@@ -44,6 +59,13 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     point.mean_table_probes = probes_sum / seeds;
     point.mean_pool_hits = pool_hits_sum / seeds;
     point.mean_pool_misses = pool_misses_sum / seeds;
+    point.mean_sessions = sessions_sum / seeds;
+    point.mean_users_served = served_sum / seeds;
+    point.mean_user_eligible = eligible_sum / seeds;
+    point.mean_users_ratio = users_ratio_sum / static_cast<double>(seeds);
+    point.mean_custody_stored = custody_stored_sum / seeds;
+    point.mean_custody_offers = custody_offers_sum / seeds;
+    point.mean_custody_accepted = custody_accepted_sum / seeds;
   }
   return point;
 }

@@ -29,6 +29,17 @@ struct SeriesPoint {
   std::uint64_t mean_table_probes{0};
   std::uint64_t mean_pool_hits{0};
   std::uint64_t mean_pool_misses{0};
+  // DTN custody + user sessions, averaged. dtn_active gates the
+  // conditional BENCH json fields (false on every pre-custody scenario,
+  // so those files stay byte-identical).
+  bool dtn_active{false};
+  std::uint64_t mean_sessions{0};
+  std::uint64_t mean_users_served{0};
+  std::uint64_t mean_user_eligible{0};
+  double mean_users_ratio{0.0};  // mean of per-run users_served/eligible
+  std::uint64_t mean_custody_stored{0};
+  std::uint64_t mean_custody_offers{0};
+  std::uint64_t mean_custody_accepted{0};
   std::vector<stats::RunResult> runs;   // raw results (one per seed)
 };
 

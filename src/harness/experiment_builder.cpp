@@ -45,10 +45,22 @@ ExperimentBuilder::ApplyFn named_knob(const std::string& param) {
   if (param == "partition_s") {
     return [](ScenarioConfig& c, double x) { c.faults.spec.partition_duration_s = x; };
   }
+  // DTN/session axes: custody store budget in messages (0 disables the
+  // custody tier entirely) and the user duty-cycle fraction.
+  if (param == "custody_max_msgs") {
+    return [](ScenarioConfig& c, double x) {
+      c.custody.enabled = x > 0.0;
+      c.custody.max_messages = static_cast<std::uint32_t>(x);
+    };
+  }
+  if (param == "session_duty") {
+    return [](ScenarioConfig& c, double x) { c.sessions.duty = x; };
+  }
   throw std::invalid_argument(
       "unknown sweep parameter \"" + param +
       "\" (known: range_m, max_speed_mps, node_count, member_fraction, "
-      "gossip_interval_ms, churn_per_min, crash_fraction, partition_s); use "
+      "gossip_interval_ms, churn_per_min, crash_fraction, partition_s, "
+      "custody_max_msgs, session_duty); use "
       "Experiment::sweep(param, values, apply) for custom knobs");
 }
 
@@ -220,8 +232,20 @@ bool ExperimentResult::write_json(const std::string& path) const {
           << ", \"suppressed_partition\": " << p.mean_suppressed_partition
           << ", \"table_probes\": " << p.mean_table_probes
           << ", \"pool_hits\": " << p.mean_pool_hits
-          << ", \"pool_misses\": " << p.mean_pool_misses << "}"
-          << (i + 1 < series[s].points.size() ? "," : "") << "\n";
+          << ", \"pool_misses\": " << p.mean_pool_misses;
+      // Custody/session fields only appear when a run in this point had
+      // the DTN tier or sessions active, so pre-custody figures (fig2,
+      // churn, ...) stay byte-identical to their pre-DTN output.
+      if (p.dtn_active) {
+        out << ", \"sessions\": " << p.mean_sessions
+            << ", \"users_served\": " << p.mean_users_served
+            << ", \"user_eligible\": " << p.mean_user_eligible
+            << ", \"users_served_ratio\": " << p.mean_users_ratio
+            << ", \"custody_stored\": " << p.mean_custody_stored
+            << ", \"custody_offers\": " << p.mean_custody_offers
+            << ", \"custody_accepted\": " << p.mean_custody_accepted;
+      }
+      out << "}" << (i + 1 < series[s].points.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (s + 1 < series.size() ? "," : "") << "\n";
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/protocol_registry.h"
+#include "sim/env.h"
 
 namespace ag::harness {
 
@@ -29,6 +30,22 @@ Network::Network(const ScenarioConfig& config)
 
   const ProtocolEntry& protocol = ProtocolRegistry::instance().entry(config_.protocol);
   const std::size_t members = config_.member_count();
+
+  // DTN custody tier: decorator + contact monitor, built only when the
+  // scenario asks for it AND the AG_CUSTODY=off hatch is not set. Off, the
+  // stack below is exactly the pre-custody one.
+  const bool custody_on = config_.custody.enabled && !sim::env_flag_off("AG_CUSTODY");
+  if (custody_on) {
+    custody_.assign(config_.node_count, nullptr);
+    gateway_.assign(config_.node_count, 0);
+    // Designated gateways, spread evenly over the node index space (node
+    // placement is uniform, so index spread approximates spatial spread).
+    const std::size_t g = config_.custody.gateway_count;
+    for (std::size_t k = 1; k <= g && config_.node_count > 0; ++k) {
+      gateway_[(k * config_.node_count) / (g + 1) % config_.node_count] = 1;
+    }
+  }
+
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     auto stack = std::make_unique<NodeStack>();
     const net::NodeId id{static_cast<std::uint32_t>(i)};
@@ -39,6 +56,14 @@ Network::Network(const ScenarioConfig& config)
 
     stack->router = ProtocolRegistry::instance().build(
         RouterContext{sim_, *stack->mac, id, i, config_});
+    if (custody_on) {
+      // Wrap whatever the registry built: custody is protocol-agnostic.
+      auto wrapped = std::make_unique<dtn::CustodyRouter>(
+          sim_, *stack->mac, std::move(stack->router), config_.custody,
+          is_gateway(i));
+      custody_[i] = wrapped.get();
+      stack->router = std::move(wrapped);
+    }
 
     gossip::GossipParams gp = config_.gossip;
     gp.enabled = gp.enabled && protocol.gossip_capable;
@@ -55,6 +80,15 @@ Network::Network(const ScenarioConfig& config)
         sink->on_deliver(d, via_gossip);
       });
       if (faulted) sink->set_subscribed(i < members);
+      // User-session layer: configured receiving members host per_node
+      // logical users (the source is excluded, mirroring MemberResult).
+      // Analytic only — its dedicated rng stream and accounting can never
+      // perturb the packet-level run.
+      if (config_.sessions.enabled() && i < members && i != source_index()) {
+        stack->sessions = std::make_unique<session::SessionManager>(
+            config_.sessions, sim_.rng().stream("session", i));
+        sink->attach_sessions(stack->sessions.get());
+      }
     }
     stacks_.push_back(std::move(stack));
   }
@@ -92,9 +126,19 @@ Network::Network(const ScenarioConfig& config)
             [this](std::size_t n) { fault_leave(n); },
             [this](std::size_t n) { fault_join(n); },
             [this](const faults::PartitionEvent& ev) { fault_partition(ev); },
-            [this] { channel_->clear_partition(); },
+            [this] { fault_heal(); },
         });
     injector_->arm();
+  }
+
+  if (custody_on) {
+    contact_monitor_ = std::make_unique<dtn::ContactMonitor>(
+        sim_, *mobility_, *channel_, config_.node_count,
+        config_.phy.transmission_range_m, config_.custody.contact_poll,
+        [this](std::size_t node, std::size_t peer) {
+          custody_[node]->offer_to(net::NodeId{static_cast<std::uint32_t>(peer)});
+        });
+    contact_monitor_->start();
   }
 }
 
@@ -126,6 +170,9 @@ void Network::fault_reboot(std::size_t node, faults::RebootPolicy policy) {
     s.router->join_group(kGroup);
     if (s.sink != nullptr) s.sink->set_subscribed(true);
   }
+  // Custody re-offer on rejoin: the node's current neighborhood hands it
+  // whatever it missed while down (its own store also re-spreads).
+  custody_contact_burst(node);
 }
 
 void Network::fault_leave(std::size_t node) {
@@ -138,6 +185,18 @@ void Network::fault_join(std::size_t node) {
   wants_member_[node] = 1;
   stacks_[node]->router->join_group(kGroup);
   if (stacks_[node]->sink != nullptr) stacks_[node]->sink->set_subscribed(true);
+  // A fresh subscriber is a contact too: neighbors re-offer their custody
+  // backlog so it can catch up on recent traffic it is now eligible for.
+  custody_contact_burst(node);
+}
+
+void Network::custody_contact_burst(std::size_t node) {
+  if (contact_monitor_ == nullptr) return;
+  const net::NodeId id{static_cast<std::uint32_t>(node)};
+  for (const std::size_t nb : contact_monitor_->neighbors_of(node)) {
+    custody_[nb]->offer_to(id);
+    custody_[node]->offer_to(net::NodeId{static_cast<std::uint32_t>(nb)});
+  }
 }
 
 void Network::fault_partition(const faults::PartitionEvent& ev) {
@@ -162,6 +221,21 @@ void Network::fault_partition(const faults::PartitionEvent& ev) {
     }
   }
   channel_->set_partition(std::move(side));
+}
+
+void Network::fault_heal() {
+  channel_->clear_partition();
+  if (contact_monitor_ == nullptr) return;
+  // Gateway bridge: the designated gateways burst-offer their (elevated)
+  // custody backlog into the freshly reunited neighborhood immediately —
+  // the periodic contact poll would bridge the cut anyway, but only at
+  // its next tick. Gateways act the instant the cut heals.
+  for (std::size_t g = 0; g < gateway_.size(); ++g) {
+    if (gateway_[g] == 0 || channel_->is_node_down(g)) continue;
+    for (const std::size_t nb : contact_monitor_->neighbors_of(g)) {
+      custody_[g]->offer_to(net::NodeId{static_cast<std::uint32_t>(nb)});
+    }
+  }
 }
 
 // ----------------------------------------------------------------- result
@@ -229,6 +303,24 @@ stats::RunResult Network::result() const {
     s->router->add_totals(t);
   }
   if (injector_ != nullptr) r.faults = injector_->stats();
+
+  // DTN/session accounting ("users served"). The eligibility denominator
+  // counts, per sourced packet, the sessions that had subscribed by its
+  // source time on nodes that were themselves subscribed then.
+  t.dtn_active = custody_enabled() || config_.sessions.enabled();
+  if (config_.sessions.enabled() && source_ != nullptr) {
+    for (const auto& s : stacks_) {
+      if (s->sessions == nullptr) continue;
+      t.sessions.sessions += s->sessions->session_count();
+      t.sessions.users_served += s->sessions->users_served();
+      for (const sim::SimTime ts : source_->send_times()) {
+        if (s->sink != nullptr && s->sink->tracking() && !s->sink->subscribed_at(ts)) {
+          continue;
+        }
+        t.sessions.user_eligible += s->sessions->eligible_at(ts);
+      }
+    }
+  }
   return r;
 }
 

@@ -11,8 +11,11 @@
 
 #include "app/multicast_sink.h"
 #include "app/multicast_source.h"
+#include "dtn/contact_monitor.h"
+#include "dtn/custody_router.h"
 #include "faults/fault_injector.h"
 #include "gossip/gossip_agent.h"
+#include "session/session_manager.h"
 #include "harness/multicast_router.h"
 #include "harness/scenario.h"
 #include "mac/csma_mac.h"
@@ -64,6 +67,19 @@ class Network {
   // The fault injector driving this run, or nullptr when the effective
   // plan is empty (the common, zero-cost case).
   [[nodiscard]] faults::FaultInjector* fault_injector() { return injector_.get(); }
+  // Node i's custody decorator, or nullptr when custody is off (config
+  // disabled or the AG_CUSTODY=off hatch).
+  [[nodiscard]] dtn::CustodyRouter* custody(std::size_t i) {
+    return custody_.empty() ? nullptr : custody_[i];
+  }
+  [[nodiscard]] bool custody_enabled() const { return !custody_.empty(); }
+  [[nodiscard]] bool is_gateway(std::size_t i) const {
+    return i < gateway_.size() && gateway_[i] != 0;
+  }
+  // Node i's user-session multiplexer, or nullptr (sessions off/non-member).
+  [[nodiscard]] session::SessionManager* sessions(std::size_t i) {
+    return stacks_[i]->sessions.get();
+  }
 
  private:
   // FaultInjector hooks (no-ops unless the scenario carries a plan).
@@ -72,12 +88,17 @@ class Network {
   void fault_leave(std::size_t node);
   void fault_join(std::size_t node);
   void fault_partition(const faults::PartitionEvent& ev);
+  void fault_heal();
+  // Custody re-offer burst when `node` (re)appears: its current neighbors
+  // offer their stores to it and vice versa. No-op when custody is off.
+  void custody_contact_burst(std::size_t node);
   struct NodeStack {
     std::unique_ptr<phy::Radio> radio;
     std::unique_ptr<mac::CsmaMac> mac;
     std::unique_ptr<MulticastRouter> router;    // built by the registry
     std::unique_ptr<gossip::GossipAgent> agent;
     std::unique_ptr<app::MulticastSink> sink;   // members only
+    std::unique_ptr<session::SessionManager> sessions;  // configured members
   };
 
   ScenarioConfig config_;
@@ -91,6 +112,12 @@ class Network {
   std::vector<std::unique_ptr<NodeStack>> stacks_;
   std::unique_ptr<app::MulticastSource> source_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  // Custody tier (empty/null when custody is off — the zero-cost default):
+  // per-node decorator pointers (owned by the stacks), the gateway flags,
+  // and the contact monitor driving contact-based re-offers.
+  std::vector<dtn::CustodyRouter*> custody_;
+  std::vector<std::uint8_t> gateway_;
+  std::unique_ptr<dtn::ContactMonitor> contact_monitor_;
   // Application-level intent per node: whether it currently wants group
   // membership (drives the automatic rejoin after a reboot).
   std::vector<std::uint8_t> wants_member_;

@@ -10,8 +10,10 @@
 
 #include "aodv/params.h"
 #include "app/workload.h"
+#include "dtn/params.h"
 #include "faults/fault_plan.h"
 #include "gossip/params.h"
+#include "session/session_params.h"
 #include "mac/mac_params.h"
 #include "maodv/params.h"
 #include "mobility/random_waypoint.h"
@@ -47,6 +49,12 @@ struct ScenarioConfig {
   // (churn rate, crash fraction, partition duration). Empty by default —
   // fault hooks are zero-cost when unused.
   faults::FaultConfig faults{};
+  // DTN custody tier (store-and-forward over any protocol) and the
+  // user-session layer ("users served" accounting). Both off by default:
+  // without them the stack built is exactly the pre-custody one, and the
+  // AG_CUSTODY=off environment hatch forces custody off regardless.
+  dtn::CustodyParams custody{};
+  session::SessionParams sessions{};
 
   sim::SimTime duration{sim::SimTime::seconds(600.0)};
   // Members join within [0, join_spread) of the start ("all the nodes
@@ -93,6 +101,18 @@ struct ScenarioConfig {
   }
   ScenarioConfig& with_seed(std::uint64_t s) {
     seed = s;
+    return *this;
+  }
+  ScenarioConfig& with_custody(std::uint32_t max_messages,
+                               std::uint32_t gateway_count = 0) {
+    custody.enabled = true;
+    custody.max_messages = max_messages;
+    custody.gateway_count = gateway_count;
+    return *this;
+  }
+  ScenarioConfig& with_sessions(std::uint32_t per_node, double duty = 1.0) {
+    sessions.per_node = per_node;
+    sessions.duty = duty;
     return *this;
   }
 };

@@ -39,6 +39,10 @@ std::uint32_t payload_bytes(const Payload& p) {
           [](const odmrp::JoinReplyMsg& m) -> std::uint32_t {
             return 8u + 12u * static_cast<std::uint32_t>(m.entries.size());
           },
+          [](const dtn::CustodyHandoffMsg& m) -> std::uint32_t {
+            // custody header (flags + timestamps) + data encapsulation.
+            return 12u + 8u + m.data.payload_bytes;
+          },
       },
       p);
 }

@@ -9,6 +9,7 @@
 #include <variant>
 
 #include "aodv/messages.h"
+#include "dtn/messages.h"
 #include "gossip/messages.h"
 #include "maodv/messages.h"
 #include "net/data.h"
@@ -21,7 +22,7 @@ using Payload =
     std::variant<MulticastData, aodv::RreqMsg, aodv::RrepMsg, aodv::RerrMsg,
                  aodv::HelloMsg, maodv::MactMsg, maodv::GrphMsg, gossip::GossipMsg,
                  gossip::GossipReplyMsg, gossip::NearestMemberMsg,
-                 odmrp::JoinQueryMsg, odmrp::JoinReplyMsg>;
+                 odmrp::JoinQueryMsg, odmrp::JoinReplyMsg, dtn::CustodyHandoffMsg>;
 
 struct Packet {
   NodeId src;

@@ -62,6 +62,16 @@ class Channel {
   void set_partition(std::vector<std::uint8_t> side_of_node);
   void clear_partition() { partition_.clear(); }
   [[nodiscard]] bool partition_active() const { return !partition_.empty(); }
+  // Whether a frame between `a` and `b` would currently be suppressed by
+  // a downed endpoint or an active cut (range not considered) — the same
+  // predicate transmit() applies per receiver, exposed for observational
+  // layers like the DTN contact monitor.
+  [[nodiscard]] bool link_allowed(std::size_t a, std::size_t b) const {
+    if (is_node_down(a) || is_node_down(b)) return false;
+    return partition_.empty() ||
+           (a < partition_.size() && b < partition_.size() &&
+            partition_[a] == partition_[b]);
+  }
 
   [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
   // --- phy-level work counters (what transmit() decided per receiver) ---

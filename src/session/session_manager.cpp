@@ -1,0 +1,56 @@
+#include "session/session_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ag::session {
+
+SessionManager::SessionManager(const SessionParams& params, sim::Rng rng)
+    : params_{params} {
+  starts_.reserve(params.per_node);
+  phases_.reserve(params.per_node);
+  const double spread = params.subscribe_spread_s > 0.0 ? params.subscribe_spread_s : 0.0;
+  const double period = params.period_s > 0.0 ? params.period_s : 1.0;
+  for (std::uint32_t s = 0; s < params.per_node; ++s) {
+    starts_.push_back(spread > 0.0 ? rng.uniform(0.0, spread) : 0.0);
+    phases_.push_back(rng.uniform(0.0, period));
+  }
+  // Sessions are exchangeable (start and phase drawn independently), so
+  // sorting the starts only relabels them — and makes eligible_at a
+  // binary search instead of a linear scan per sourced packet.
+  std::sort(starts_.begin(), starts_.end());
+}
+
+bool SessionManager::awake(std::size_t s, sim::SimTime t) const {
+  if (params_.duty >= 1.0) return true;
+  if (params_.duty <= 0.0) return false;
+  const double period = params_.period_s > 0.0 ? params_.period_s : 1.0;
+  const double offset = std::fmod(t.to_seconds() + phases_[s], period);
+  return offset < params_.duty * period;
+}
+
+double SessionManager::next_wake_in_s(std::size_t s, sim::SimTime t) const {
+  if (awake(s, t)) return 0.0;
+  const double period = params_.period_s > 0.0 ? params_.period_s : 1.0;
+  const double offset = std::fmod(t.to_seconds() + phases_[s], period);
+  return period - offset;
+}
+
+std::uint64_t SessionManager::eligible_at(sim::SimTime ts) const {
+  const double t = ts.to_seconds();
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  return static_cast<std::uint64_t>(it - starts_.begin());
+}
+
+void SessionManager::on_unique_delivery(const net::MulticastData& data,
+                                        sim::SimTime now) {
+  const double sent = data.sent_at.to_seconds();
+  for (std::size_t s = 0; s < starts_.size(); ++s) {
+    if (starts_[s] > sent) continue;  // subscribed after the packet left
+    if (awake(s, now) || next_wake_in_s(s, now) <= params_.wake_ttl_s) {
+      ++served_;
+    }
+  }
+}
+
+}  // namespace ag::session

@@ -1,0 +1,69 @@
+// Per-node session multiplexer: scores each unique node-level delivery
+// against every hosted user session in closed form — which sessions had
+// subscribed by the packet's source time, and which were awake (or about
+// to wake) when the node received it. Purely analytic: the manager
+// schedules no events and draws randomness only from its own named rng
+// stream at construction, so enabling sessions never perturbs mobility,
+// MAC, gossip, or fault draws, and a run with sessions enabled is
+// packet-for-packet identical to one without.
+#ifndef AG_SESSION_SESSION_MANAGER_H
+#define AG_SESSION_SESSION_MANAGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/data.h"
+#include "session/session_params.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ag::session {
+
+// Network-wide "users served" accounting (flows through NetworkTotals
+// into the BENCH_*.json files — emitted only when the layer is enabled).
+struct SessionTotals {
+  std::uint64_t sessions{0};      // logical user sessions hosted
+  std::uint64_t users_served{0};  // (session, packet) deliveries credited
+  std::uint64_t user_eligible{0}; // (session, packet) pairs in the denominator
+
+  [[nodiscard]] double served_ratio() const {
+    return user_eligible == 0
+               ? 0.0
+               : static_cast<double>(users_served) / static_cast<double>(user_eligible);
+  }
+};
+
+class SessionManager {
+ public:
+  // `rng` must be a dedicated named stream (e.g. "session", node_index).
+  SessionManager(const SessionParams& params, sim::Rng rng);
+
+  // Called by the sink for each unique, in-subscription delivery: credits
+  // every session that (a) had subscribed by the packet's source time and
+  // (b) is awake at `now` or wakes within wake_ttl_s.
+  void on_unique_delivery(const net::MulticastData& data, sim::SimTime now);
+
+  // Sessions whose subscribe time is <= `ts` — the per-packet eligibility
+  // denominator (starts are kept sorted; O(log sessions)).
+  [[nodiscard]] std::uint64_t eligible_at(sim::SimTime ts) const;
+
+  [[nodiscard]] std::uint64_t users_served() const { return served_; }
+  [[nodiscard]] std::uint32_t session_count() const {
+    return static_cast<std::uint32_t>(starts_.size());
+  }
+
+  // Introspection for tests: whether session `s` is awake at `t`.
+  [[nodiscard]] bool awake(std::size_t s, sim::SimTime t) const;
+  // Seconds until session `s` next wakes at `t` (0 when awake).
+  [[nodiscard]] double next_wake_in_s(std::size_t s, sim::SimTime t) const;
+
+ private:
+  SessionParams params_;
+  std::vector<double> starts_;  // subscribe times (s), sorted ascending
+  std::vector<double> phases_;  // duty-cycle phase offsets (s), per session
+  std::uint64_t served_{0};
+};
+
+}  // namespace ag::session
+
+#endif  // AG_SESSION_SESSION_MANAGER_H

@@ -1,0 +1,37 @@
+// Configuration of the user-session layer: many logical users multiplexed
+// onto each member node, each with its own subscribe start and a periodic
+// sleep/duty-cycle schedule. Disabled by default (per_node == 0) — the
+// layer is purely analytic (no simulator events), so enabling it changes
+// accounting only, never protocol behaviour.
+#ifndef AG_SESSION_SESSION_PARAMS_H
+#define AG_SESSION_SESSION_PARAMS_H
+
+#include <cstdint>
+
+namespace ag::session {
+
+struct SessionParams {
+  // Logical users hosted per member node; 0 disables the layer.
+  std::uint32_t per_node{0};
+
+  // Sleep schedule: each session is awake for `duty * period_s` out of
+  // every `period_s`, at a per-session phase offset. duty >= 1 means
+  // always-on users.
+  double period_s{60.0};
+  double duty{1.0};
+
+  // A sleeping session still counts as served when its next wake-up is at
+  // most this far after the node-level delivery (the node holds the
+  // payload for the user — the custody idea applied one layer up).
+  double wake_ttl_s{30.0};
+
+  // Session subscribe times are staggered uniformly over [0, spread): a
+  // session is only eligible for packets sourced after it subscribed.
+  double subscribe_spread_s{0.0};
+
+  [[nodiscard]] bool enabled() const { return per_node > 0; }
+};
+
+}  // namespace ag::session
+
+#endif  // AG_SESSION_SESSION_PARAMS_H

@@ -34,8 +34,12 @@ namespace ag::sim {
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
   errno = 0;
+  // strtol would accept leading whitespace and signs; the knob grammar
+  // does not — a value must start with a digit.
+  const bool digit_start = *env >= '0' && *env <= '9';
   const long v = std::strtol(env, &end, 10);
-  if (errno != 0 || end == env || *end != '\0' || v <= 0 || v > max_value) {
+  if (!digit_start || errno != 0 || end == env || *end != '\0' || v <= 0 ||
+      v > max_value) {
     std::fprintf(stderr,
                  "warning: ignoring invalid %s=\"%s\" (want a positive "
                  "integer); using %u\n",

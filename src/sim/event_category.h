@@ -22,14 +22,15 @@ enum class EventCategory : std::uint8_t {
   phy_delivery,     // frame arrivals, reception completions, tx completions
   router,           // routing + gossip protocol timers and jittered sends
   fault,            // fault-injection events (crash/reboot/partition/churn)
+  dtn,              // custody-tier contact polling (zero when custody is off)
 };
 
-inline constexpr std::size_t kEventCategoryCount = 7;
+inline constexpr std::size_t kEventCategoryCount = 8;
 
 [[nodiscard]] constexpr const char* event_category_name(std::size_t i) {
   constexpr const char* kNames[kEventCategoryCount] = {
       "other",        "mac_slot", "mac_difs", "mac_ack_timeout",
-      "phy_delivery", "router",   "fault"};
+      "phy_delivery", "router",   "fault",    "dtn"};
   return i < kEventCategoryCount ? kNames[i] : "?";
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/ids.h"
+#include "session/session_manager.h"
 #include "sim/event_category.h"
 #include "stats/summary.h"
 
@@ -101,6 +102,20 @@ struct NetworkTotals {
   std::uint64_t repairs_started{0};
   std::uint64_t partitions{0};
   std::uint64_t leaders_elected{0};
+  // --- DTN custody tier (src/dtn; all zero when custody is off) ---
+  std::uint64_t custody_stored{0};            // fresh payloads taken into custody
+  std::uint64_t custody_evicted_ttl{0};
+  std::uint64_t custody_evicted_capacity{0};
+  std::uint64_t custody_offers{0};            // handoff packets put on the air
+  std::uint64_t custody_offers_failed{0};
+  std::uint64_t custody_accepted{0};          // received handoffs new to the node
+  std::uint64_t custody_duplicates{0};
+  // --- user-session layer (src/session; zero sessions when disabled) ---
+  session::SessionTotals sessions;
+  // True when this run carried the DTN/session subsystem (custody enabled
+  // or sessions hosted). Gates the conditional BENCH json fields, so runs
+  // without the subsystem serialize byte-identically to pre-custody builds.
+  bool dtn_active{false};
 };
 
 // Record of the faults a run actually experienced (all zero outside

@@ -1,0 +1,132 @@
+// Unit coverage for the user-session multiplexer: staggered subscribes
+// (the per-packet eligibility denominator), duty-cycle wake windows, and
+// the served-credit rule (awake now, or waking within the wake TTL).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "session/session_manager.h"
+
+namespace ag::session {
+namespace {
+
+SessionParams params(std::uint32_t per_node, double duty,
+                     double spread_s = 0.0, double wake_ttl_s = 0.0) {
+  SessionParams p;
+  p.per_node = per_node;
+  p.duty = duty;
+  p.period_s = 60.0;
+  p.subscribe_spread_s = spread_s;
+  p.wake_ttl_s = wake_ttl_s;
+  return p;
+}
+
+net::MulticastData sent_at(double t_s) {
+  net::MulticastData d;
+  d.group = net::GroupId{1};
+  d.origin = net::NodeId{0};
+  d.seq = 0;
+  d.sent_at = sim::SimTime::seconds(t_s);
+  return d;
+}
+
+sim::SimTime at(double s) { return sim::SimTime::seconds(s); }
+
+TEST(SessionManager, ZeroSpreadMakesEveryoneEligibleImmediately) {
+  SessionManager sm{params(50, 1.0), sim::Rng{1}};
+  EXPECT_EQ(sm.session_count(), 50u);
+  EXPECT_EQ(sm.eligible_at(at(0.0)), 50u);
+}
+
+TEST(SessionManager, SpreadStaggersEligibilityMonotonically) {
+  SessionManager sm{params(200, 1.0, /*spread_s=*/40.0), sim::Rng{7}};
+  const std::uint64_t early = sm.eligible_at(at(1.0));
+  const std::uint64_t mid = sm.eligible_at(at(20.0));
+  const std::uint64_t late = sm.eligible_at(at(40.0));
+  EXPECT_LE(early, mid);
+  EXPECT_LE(mid, late);
+  EXPECT_EQ(late, 200u);            // spread is [0, 40): all in by t=40
+  EXPECT_LT(early, 200u);           // but not all at t=1
+  EXPECT_GT(mid, 0u);               // and roughly half-way by t=20
+}
+
+TEST(SessionManager, FullDutyIsAlwaysAwake) {
+  SessionManager sm{params(20, 1.0), sim::Rng{3}};
+  for (std::size_t s = 0; s < 20; ++s) {
+    for (double t : {0.0, 13.7, 59.9, 60.0, 123.4}) {
+      EXPECT_TRUE(sm.awake(s, at(t)));
+      EXPECT_DOUBLE_EQ(sm.next_wake_in_s(s, at(t)), 0.0);
+    }
+  }
+}
+
+TEST(SessionManager, DutyCycleAwakeFractionTracksDuty) {
+  // Phases are uniform over the period, so at any instant about
+  // duty*sessions are awake (stddev ~ sqrt(n*d*(1-d)) ~ 6 for n=200).
+  SessionManager sm{params(200, 0.25), sim::Rng{11}};
+  std::size_t awake = 0;
+  for (std::size_t s = 0; s < 200; ++s) {
+    if (sm.awake(s, at(100.0))) ++awake;
+  }
+  EXPECT_GT(awake, 25u);
+  EXPECT_LT(awake, 75u);
+}
+
+TEST(SessionManager, NextWakeIsConsistentWithAwake) {
+  SessionManager sm{params(100, 0.3), sim::Rng{5}};
+  for (std::size_t s = 0; s < 100; ++s) {
+    const sim::SimTime t = at(42.0);
+    if (sm.awake(s, t)) {
+      EXPECT_DOUBLE_EQ(sm.next_wake_in_s(s, t), 0.0);
+    } else {
+      const double wait = sm.next_wake_in_s(s, t);
+      EXPECT_GT(wait, 0.0);
+      EXPECT_LE(wait, 60.0);
+      // Just past the predicted wake instant the session is awake.
+      EXPECT_TRUE(sm.awake(s, at(42.0 + wait + 1e-6))) << "session " << s;
+    }
+  }
+}
+
+TEST(SessionManager, ServedCreditsExactlyTheAwakeSessions) {
+  SessionManager sm{params(150, 0.25), sim::Rng{9}};
+  const sim::SimTime now = at(77.0);
+  std::uint64_t awake = 0;
+  for (std::size_t s = 0; s < 150; ++s) {
+    if (sm.awake(s, now)) ++awake;
+  }
+  sm.on_unique_delivery(sent_at(10.0), now);  // wake_ttl = 0: awake only
+  EXPECT_EQ(sm.users_served(), awake);
+}
+
+TEST(SessionManager, WakeTtlCreditsSoonWakingSessions) {
+  // A full period of wake TTL means every subscribed session is credited
+  // no matter where it is in its sleep cycle.
+  SessionManager sm{params(80, 0.1, 0.0, /*wake_ttl_s=*/60.0), sim::Rng{13}};
+  sm.on_unique_delivery(sent_at(5.0), at(30.0));
+  EXPECT_EQ(sm.users_served(), 80u);
+}
+
+TEST(SessionManager, LateSubscribersNotCreditedForOldPackets) {
+  // All sessions subscribe in (0, 40); a packet sourced at t=0 predates
+  // every one of them, so nobody is credited — while a late packet
+  // credits everyone (duty 1.0).
+  SessionManager sm{params(60, 1.0, /*spread_s=*/40.0), sim::Rng{17}};
+  sm.on_unique_delivery(sent_at(0.0), at(50.0));
+  const std::uint64_t early_credit = sm.users_served();
+  EXPECT_EQ(early_credit, sm.eligible_at(at(0.0)));
+  sm.on_unique_delivery(sent_at(45.0), at(50.0));
+  EXPECT_EQ(sm.users_served() - early_credit, 60u);
+}
+
+TEST(SessionManager, DeterministicForEqualSeeds) {
+  SessionManager a{params(100, 0.5, 30.0, 10.0), sim::Rng{21}};
+  SessionManager b{params(100, 0.5, 30.0, 10.0), sim::Rng{21}};
+  a.on_unique_delivery(sent_at(10.0), at(35.0));
+  b.on_unique_delivery(sent_at(10.0), at(35.0));
+  EXPECT_EQ(a.users_served(), b.users_served());
+  EXPECT_EQ(a.eligible_at(at(20.0)), b.eligible_at(at(20.0)));
+}
+
+}  // namespace
+}  // namespace ag::session
