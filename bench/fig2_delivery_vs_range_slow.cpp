@@ -5,6 +5,10 @@
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Paper figure 2: delivery ratio vs transmission range at 0.2 m/s max speed.",
+      "  range_m = {45..85} (transmission range, meters)");
   const std::uint32_t seeds = harness::seeds_from_env(3);
   bench::run_two_series_figure(
       "Figure 2: Packet Delivery vs Transmission Range (speed 0.2 m/s)",

@@ -5,6 +5,10 @@
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Paper figure 4: delivery ratio vs maximum node speed (0.1-1 m/s).",
+      "  max_speed_mps = {0.1..1.0}");
   const std::uint32_t seeds = harness::seeds_from_env(3);
   bench::run_two_series_figure(
       "Figure 4: Packet Delivery vs Maximum Speed (low range: 0.1-1 m/s)",

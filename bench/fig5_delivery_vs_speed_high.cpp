@@ -5,6 +5,10 @@
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Paper figure 5: delivery ratio vs maximum node speed (1-10 m/s).",
+      "  max_speed_mps = {1..10}");
   const std::uint32_t seeds = harness::seeds_from_env(3);
   bench::run_two_series_figure(
       "Figure 5: Packet Delivery vs Maximum Speed (high range: 1-10 m/s)",

@@ -10,6 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Paper figure 6: delivery ratio vs node count at constant mean degree\n(range shrinks as nodes grow).",
+      "  node_count = {40..100} (range scaled to hold mean degree)");
   const std::uint32_t seeds = harness::seeds_from_env(2);
   bench::run_two_series_figure(
       "Figure 6: Packet Delivery vs Number of Nodes (constant mean degree)",

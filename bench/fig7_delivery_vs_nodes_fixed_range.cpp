@@ -6,6 +6,10 @@
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Paper figure 7: delivery ratio vs node count at a fixed 55 m range.",
+      "  node_count = {40..100}");
   const std::uint32_t seeds = harness::seeds_from_env(2);
   bench::run_two_series_figure(
       "Figure 7: Packet Delivery vs Number of Nodes (fixed 55 m range)",

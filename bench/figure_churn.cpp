@@ -15,6 +15,12 @@
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Robustness figure: delivery ratio vs membership churn rate, over a\n"
+      "fault background (15% crashes, mid-run partition).",
+      "  churn_per_min = {0..8} (member leave+rejoin cycles per minute)",
+      "  --smoke           shrink the sweep for CI (short duration)\n");
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   const std::uint32_t seeds = harness::seeds_from_env(smoke ? 1 : 2);
 

@@ -54,6 +54,31 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Shared --help/-h implementation for every figure bench: one place lists
+// the common flags and environment knobs, each binary passes its one-line
+// description, its swept axes, and any bench-specific flags. Prints and
+// exits 0 when the flag is present; returns otherwise.
+inline void handle_help_flag(int argc, char** argv, const char* description,
+                             const char* axes, const char* extra_flags = nullptr) {
+  if (!has_flag(argc, argv, "--help") && !has_flag(argc, argv, "-h")) return;
+  std::printf("usage: %s [flags]\n\n%s\n\nSwept axes:\n%s\n\nFlags:\n", argv[0],
+              description, axes);
+  if (extra_flags != nullptr) std::printf("%s", extra_flags);
+  std::printf(
+      "  --protocols=a,b   protocol series to run (registry names; see error\n"
+      "                    message of an unknown name for the full list)\n"
+      "  --help, -h        this text\n"
+      "\nEnvironment knobs (all runs are bit-identical across the engine\n"
+      "hatches; see README \"Environment knobs\"):\n"
+      "  AG_SEEDS=<n>            seeds per point (overrides the default)\n"
+      "  AG_SPATIAL_INDEX=off    brute-force phy neighbor scan\n"
+      "  AG_DENSE_TABLES=off     ordered-map table backends\n"
+      "  AG_BATCHED_BACKOFF=off  per-slot MAC contention reference engine\n"
+      "  AG_CUSTODY=off          force the DTN custody tier off\n"
+      "  AG_ADVERSARY=off        force the adversary/trust axis off\n");
+  std::exit(0);
+}
+
 // Paper section 5.1 defaults: 200x200 m, 40 nodes, 1/3 members, 600 s,
 // 2201 packets from t=120 s, gossip 1 msg/s. Range/speed set per figure.
 inline harness::ScenarioConfig paper_base() {

@@ -98,6 +98,13 @@ bool write_dtn_json(const std::string& path, const std::vector<CellReport>& cell
 
 int main(int argc, char** argv) {
   using namespace ag;
+  bench::handle_help_flag(
+      argc, argv,
+      "Custody-tier figure: users served under duty-cycled sessions, swept\n"
+      "over custody budget x duty cycle x churn (all registered protocols).",
+      "  custody_max_msgs = {0,16,64,256} x session duty x churn_per_min",
+      "  --smoke           2x1x2 grid, short duration (CI)\n"
+      "  --mega            10k nodes / 2M logical users, one cell\n");
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   const bool mega = bench::has_flag(argc, argv, "--mega");
   const std::uint32_t seeds = harness::seeds_from_env(smoke || mega ? 1 : 2);

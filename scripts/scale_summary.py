@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Renders BENCH_scale.json (or BENCH_dtn.json) as a markdown table.
+"""Renders BENCH_scale.json (or BENCH_dtn/BENCH_adversary.json) as a
+markdown table.
 
 Used by the Release CI job to append a wall-clock + events/sec summary to
 $GITHUB_STEP_SUMMARY, so perf regressions are visible on the PR page
@@ -7,7 +8,9 @@ without downloading the artifact. BENCH_dtn.json shares the same points/
 series shape (each point labels a grid cell instead of a node count), so
 one renderer covers both; the "users served" column shows the session
 layer's served/eligible ratio when a series carries session metrics and
-an em-dash placeholder when it does not (every pre-custody BENCH file).
+an em-dash placeholder when it does not (every pre-custody BENCH file);
+the "trust iso/fp" column does the same for the adversary axis' isolation
+and false-positive counts (BENCH_adversary.json only).
 
 Runs under `if: always()`, so it must exit 0 and print something
 readable for every degraded input: missing file, truncated JSON, a
@@ -53,6 +56,19 @@ def _fmt_users_served(point):
     return ", ".join(parts) if parts else "—"
 
 
+def _fmt_trust(point):
+    """Per-protocol isolation/false-positive counts, or a placeholder
+    when the point predates the adversary axis (every BENCH file other
+    than BENCH_adversary.json)."""
+    parts = [
+        f"{s.get('name', '?')}={_num(s.get('trust_isolations')):.1f}"
+        f"/{_num(s.get('trust_false_positives')):.1f}"
+        for s in _series_of(point)
+        if "trust_isolations" in s
+    ]
+    return ", ".join(parts) if parts else "—"
+
+
 def _point_label(point):
     """scale points are labeled by node count; dtn points carry an
     explicit grid-cell label."""
@@ -79,12 +95,16 @@ def main() -> int:
     experiment = data.get("experiment", "scale_smoke")
     if experiment == "dtn":
         title = "Custody tier × user sessions (`figure_dtn`)"
+    elif experiment == "adversary":
+        title = "Adversary axis × trust isolation (`figure_adversary`)"
     else:
         title = f"Scaling smoke (`{experiment}`)"
     seeds = data.get("seeds", "?")
     print(f"### {title}\n")
     if experiment == "dtn":
         print(f"seeds: {seeds} · users/node: {data.get('sessions_per_node', '?')}\n")
+    elif experiment == "adversary":
+        print(f"seeds: {seeds}\n")
     else:
         index = json.dumps(data.get("spatial_index", "?"))
         dense = json.dumps(data.get("dense_tables", "?"))
@@ -96,12 +116,12 @@ def main() -> int:
     print(
         "| point | wall (s) | sim events | events/sec "
         "| events elided | effective ev/sec | per-protocol delivery "
-        "| users served |"
+        "| users served | trust iso/fp |"
     )
     print(
         "|:------|---------:|-----------:|-----------:"
         "|--------------:|-----------------:|:----------------------"
-        "|:-------------|"
+        "|:-------------|:-------------|"
     )
     points = data.get("points", [])
     if not isinstance(points, list):
@@ -110,7 +130,7 @@ def main() -> int:
     if not points:
         # Placeholder row: the budget tripped before the first point (or
         # the schema changed) — keep the table well-formed either way.
-        print("| _no points recorded_ | — | — | — | — | — | — | — |")
+        print("| _no points recorded_ | — | — | — | — | — | — | — | — |")
     for point in points:
         elided = _num(point.get("mac_slots_elided")) + _num(point.get("mac_difs_elided"))
         effective = _num(
@@ -124,7 +144,8 @@ def main() -> int:
             f"| {elided:,} "
             f"| {effective:,.0f} "
             f"| {_fmt_protocols(point)} "
-            f"| {_fmt_users_served(point)} |"
+            f"| {_fmt_users_served(point)} "
+            f"| {_fmt_trust(point)} |"
         )
 
     # Event-mix table: share of executed events per category, so elision

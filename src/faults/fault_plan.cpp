@@ -15,13 +15,24 @@ namespace {
 
 }  // namespace
 
+namespace {
+
+// "crashes[3]" — every rejection names the offending plan entry so a bad
+// sweep points straight at it instead of at "a node somewhere".
+[[nodiscard]] std::string at(const char* list, std::size_t index) {
+  return std::string(list) + "[" + std::to_string(index) + "]";
+}
+
+}  // namespace
+
 void FaultPlan::validate(std::size_t node_count) const {
-  for (const CrashEvent& e : crashes) {
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    const CrashEvent& e = crashes[i];
     if (e.node >= node_count) {
-      fail("crash targets node " + std::to_string(e.node) + " but the network has " +
-           std::to_string(node_count) + " nodes");
+      fail(at("crashes", i) + " targets node " + std::to_string(e.node) +
+           " but the network has " + std::to_string(node_count) + " nodes");
     }
-    if (e.at_s < 0.0) fail("crash time must be non-negative");
+    if (e.at_s < 0.0) fail(at("crashes", i) + " time must be non-negative");
   }
   // Per-node crash intervals must not overlap or even touch: a node
   // cannot crash while it is already down, and a crash landing on the
@@ -37,13 +48,17 @@ void FaultPlan::validate(std::size_t node_count) const {
       const double b_end = b.down_for_s <= 0.0 ? std::numeric_limits<double>::infinity()
                                                : b.at_s + b.down_for_s;
       if (a.at_s <= b_end && b.at_s <= a_end) {
-        fail("node " + std::to_string(a.node) + " has overlapping crash intervals");
+        fail(at("crashes", j) + " crashes node " + std::to_string(a.node) +
+             " while " + at("crashes", i) + " still has it down");
       }
     }
   }
-  for (const PartitionEvent& e : partitions) {
-    if (e.at_s < 0.0) fail("partition time must be non-negative");
-    if (e.heal_after_s <= 0.0) fail("partition heal_after_s must be positive");
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionEvent& e = partitions[i];
+    if (e.at_s < 0.0) fail(at("partitions", i) + " time must be non-negative");
+    if (e.heal_after_s <= 0.0) {
+      fail(at("partitions", i) + " heal_after_s must be positive");
+    }
   }
   // Same closed-interval rule as crashes: a cut starting at the exact
   // heal instant of another could fire before that heal and be lost.
@@ -52,16 +67,34 @@ void FaultPlan::validate(std::size_t node_count) const {
       const PartitionEvent& a = partitions[i];
       const PartitionEvent& b = partitions[j];
       if (a.at_s <= b.at_s + b.heal_after_s && b.at_s <= a.at_s + a.heal_after_s) {
-        fail("partitions overlap or touch; the channel models a single cut at a time");
+        fail(at("partitions", j) + " overlaps or touches " + at("partitions", i) +
+             "; the channel models a single cut at a time");
       }
     }
   }
-  for (const MembershipEvent& e : membership) {
+  for (std::size_t i = 0; i < membership.size(); ++i) {
+    const MembershipEvent& e = membership[i];
     if (e.node >= node_count) {
-      fail("membership event targets node " + std::to_string(e.node) +
+      fail(at("membership", i) + " targets node " + std::to_string(e.node) +
            " but the network has " + std::to_string(node_count) + " nodes");
     }
-    if (e.at_s < 0.0) fail("membership event time must be non-negative");
+    if (e.at_s < 0.0) fail(at("membership", i) + " time must be non-negative");
+  }
+  for (std::size_t i = 0; i < adversaries.size(); ++i) {
+    const AdversaryAssignment& e = adversaries[i];
+    if (e.node >= node_count) {
+      fail(at("adversaries", i) + " targets node " + std::to_string(e.node) +
+           " but the network has " + std::to_string(node_count) + " nodes");
+    }
+    if (e.drop_fraction < 0.0 || e.drop_fraction > 1.0) {
+      fail(at("adversaries", i) + " drop_fraction must be in [0, 1]");
+    }
+    for (std::size_t j = i + 1; j < adversaries.size(); ++j) {
+      if (adversaries[j].node == e.node) {
+        fail(at("adversaries", j) + " re-assigns node " + std::to_string(e.node) +
+             " already compromised by " + at("adversaries", i));
+      }
+    }
   }
 }
 
@@ -124,6 +157,28 @@ void synthesize_into(FaultPlan& plan, const FaultSpec& spec, std::size_t node_co
                           ? spec.partition_at_s
                           : std::max(0.0, (duration_s - spec.partition_duration_s) / 2.0);
     plan.partition_at_x(-1.0, at, spec.partition_duration_s);
+  }
+}
+
+void synthesize_adversaries_into(FaultPlan& plan, const FaultSpec& spec,
+                                 std::size_t node_count, std::size_t source_index,
+                                 sim::Rng rng) {
+  if (!spec.adversaries_any() || node_count < 2) return;
+  std::vector<std::size_t> candidates;
+  candidates.reserve(node_count - 1);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (i != source_index) candidates.push_back(i);
+  }
+  auto compromised = static_cast<std::size_t>(
+      spec.adversary_fraction * static_cast<double>(node_count) + 0.5);
+  compromised = std::min(compromised, candidates.size());
+  // Partial Fisher-Yates, same idiom as crash synthesis: the first
+  // `compromised` entries end up a uniform sample without replacement.
+  for (std::size_t i = 0; i < compromised; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(candidates.size()) - 1));
+    std::swap(candidates[i], candidates[j]);
+    plan.adversary(candidates[i], spec.adversary_mode, spec.adversary_drop);
   }
 }
 

@@ -48,11 +48,72 @@ struct MembershipEvent {
   bool join{false};  // false = leave the group
 };
 
+// How a compromised node misbehaves (src/faults/adversary.h implements
+// the behaviors as the AdversaryRouter decorator):
+//  - blackhole: absorbs every relayed data payload but keeps signaling
+//    (control traffic, MAC ACKs), so routing still routes through it.
+//  - selective_forward: drops a fixed fraction of relayed payloads, drawn
+//    from the node's dedicated rng stream.
+//  - gossip_poison: consumes gossip requests addressed to it and answers
+//    with fabricated duplicates of messages it does not hold, wasting the
+//    initiator's recovery round.
+enum class AdversaryMode : std::uint8_t { blackhole, selective_forward, gossip_poison };
+
+// One compromised node. Part of the resolved FaultPlan so scripted and
+// synthesized adversaries flow through the same validation and wiring.
+struct AdversaryAssignment {
+  std::size_t node{0};
+  AdversaryMode mode{AdversaryMode::blackhole};
+  // selective_forward only: probability a relayed payload is dropped.
+  double drop_fraction{0.7};
+};
+
+// Trust layer configuration (the detection/isolation side of the
+// adversary axis — see faults::AdversaryRouter). Disabled by default;
+// enabling it on a run with zero adversaries must not change the run
+// (the trust tables are bookkeeping only until an isolation fires).
+struct TrustParams {
+  bool enabled{false};
+  // Exponential decay time constant for all trust counters (sim clock;
+  // decay is applied lazily on observation — never via timer events).
+  double decay_tau_s{30.0};
+  // Forwarding watchdog: isolate a neighbor whose observed/expected
+  // relay ratio sits below the floor once enough expectation mass has
+  // accrued. Only armed on relay-everything substrates (flooding), where
+  // "every node rebroadcasts every payload" is the protocol contract —
+  // and only when explicitly requested: a promiscuous monitor measures
+  // the *product* of honesty, link capture, and MAC queue congestion,
+  // so a fringe neighbor under load is locally indistinguishable from a
+  // selective forwarder and false positives are inherent (the classic
+  // watchdog tradeoff). Off, the trust layer runs only the junk-reply
+  // detector, which almost never misfires on honest traffic; the
+  // adversary bench's fraction=0 column quantifies each detector's
+  // false-positive cost.
+  bool watchdog{false};
+  double forward_ratio_floor{0.25};
+  double min_expected{40.0};
+  // Junk-reply scoring (any gossip substrate): isolate a responder whose
+  // replies are overwhelmingly already-held duplicates.
+  double junk_ratio_floor{0.8};
+  double min_junk{3.0};
+  // A neighbor accrues forwarding expectation only while heard within
+  // this window — i.e. only while provably in radio range right now.
+  // Kept tight on purpose: with mobility, a wide window keeps crediting
+  // neighbors that have drifted out of range (whose relays are then
+  // inaudible by physics, not malice), and those phantom debts are what
+  // turn fringe nodes into watchdog false positives.
+  double neighbor_ttl_s{2.0};
+};
+
 struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<PartitionEvent> partitions;
   std::vector<MembershipEvent> membership;
+  std::vector<AdversaryAssignment> adversaries;
 
+  // Timed-event emptiness: adversaries are roles, not events, so they
+  // deliberately do not count here — an adversary-only plan must not
+  // flip the fault-run paths (per-node sinks, the injector).
   [[nodiscard]] bool empty() const {
     return crashes.empty() && partitions.empty() && membership.empty();
   }
@@ -83,11 +144,19 @@ struct FaultPlan {
     membership.push_back({node, at_s, true});
     return *this;
   }
+  FaultPlan& adversary(std::size_t node, AdversaryMode mode,
+                       double drop_fraction = 0.7) {
+    adversaries.push_back({node, mode, drop_fraction});
+    return *this;
+  }
 
   // Sanity-checks the plan against a concrete network: node indices in
   // range, non-negative times, positive heal delays, per-node crash
-  // intervals non-overlapping, and at most one partition active at a time
-  // (the channel models a single cut). Throws std::invalid_argument.
+  // intervals non-overlapping, at most one partition active at a time
+  // (the channel models a single cut), and adversary roles unique per
+  // node. Rejections name the offending event index ("crashes[2]", ...)
+  // so a bad sweep points straight at its plan entry. Throws
+  // std::invalid_argument.
   void validate(std::size_t node_count) const;
 };
 
@@ -107,10 +176,19 @@ struct FaultSpec {
   double partition_duration_s{0.0};
   // Episode start; negative centers it in the run.
   double partition_at_s{-1.0};
+  // Adversary axis: fraction of nodes (excluding the source) flipped
+  // into `adversary_mode` for the whole run. Synthesized on its own rng
+  // stream by synthesize_adversaries_into — and deliberately NOT part of
+  // any(): adversaries are roles, not timed fault events, so arming the
+  // axis at fraction zero must not flip the fault-run machinery.
+  double adversary_fraction{0.0};
+  AdversaryMode adversary_mode{AdversaryMode::blackhole};
+  double adversary_drop{0.7};  // selective_forward drop probability
 
   [[nodiscard]] bool any() const {
     return churn_per_min > 0.0 || crash_fraction > 0.0 || partition_duration_s > 0.0;
   }
+  [[nodiscard]] bool adversaries_any() const { return adversary_fraction > 0.0; }
 };
 
 // Appends the events a spec describes for one concrete run to `plan`.
@@ -120,6 +198,14 @@ struct FaultSpec {
 void synthesize_into(FaultPlan& plan, const FaultSpec& spec, std::size_t node_count,
                      std::size_t member_count, std::size_t source_index,
                      double duration_s, sim::Rng rng);
+
+// Appends the adversary roles the spec describes: round(fraction *
+// node_count) distinct non-source nodes, a uniform sample without
+// replacement. Runs on its own dedicated rng stream ("adversary") so an
+// armed-but-zero axis draws nothing and perturbs nothing.
+void synthesize_adversaries_into(FaultPlan& plan, const FaultSpec& spec,
+                                 std::size_t node_count, std::size_t source_index,
+                                 sim::Rng rng);
 
 // What a ScenarioConfig carries: scripted events plus a synthesizable
 // spec. Both default empty — fault hooks are zero-cost when unused.

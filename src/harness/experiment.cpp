@@ -26,6 +26,13 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
   std::uint64_t custody_stored_sum = 0;
   std::uint64_t custody_offers_sum = 0;
   std::uint64_t custody_accepted_sum = 0;
+  std::uint64_t adversary_nodes_sum = 0;
+  std::uint64_t adversary_absorbed_sum = 0;
+  std::uint64_t adversary_poisoned_sum = 0;
+  std::uint64_t isolations_sum = 0;
+  std::uint64_t false_positives_sum = 0;
+  std::uint64_t trust_filtered_sum = 0;
+  double detection_latency_sum = 0.0;
   for (stats::RunResult& r : runs) {
     for (double v : r.received_per_member()) all_received.push_back(v);
     goodput_sum += r.mean_goodput_pct();
@@ -45,6 +52,14 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     custody_stored_sum += r.totals.custody_stored;
     custody_offers_sum += r.totals.custody_offers;
     custody_accepted_sum += r.totals.custody_accepted;
+    point.adversary_active = point.adversary_active || r.totals.adversary_active;
+    adversary_nodes_sum += r.totals.adversary_nodes;
+    adversary_absorbed_sum += r.totals.adversary_absorbed;
+    adversary_poisoned_sum += r.totals.adversary_poisoned;
+    isolations_sum += r.totals.trust_isolations;
+    false_positives_sum += r.totals.trust_false_positives;
+    trust_filtered_sum += r.totals.trust_filtered;
+    detection_latency_sum += r.totals.trust_detection_latency_s;
     point.runs.push_back(std::move(r));
   }
   point.received = stats::summarize(all_received);
@@ -66,6 +81,15 @@ SeriesPoint aggregate_point(double x, std::vector<stats::RunResult> runs) {
     point.mean_custody_stored = custody_stored_sum / seeds;
     point.mean_custody_offers = custody_offers_sum / seeds;
     point.mean_custody_accepted = custody_accepted_sum / seeds;
+    point.mean_adversary_nodes = adversary_nodes_sum / seeds;
+    point.mean_adversary_absorbed = adversary_absorbed_sum / seeds;
+    point.mean_adversary_poisoned = adversary_poisoned_sum / seeds;
+    point.mean_trust_isolations =
+        static_cast<double>(isolations_sum) / static_cast<double>(seeds);
+    point.mean_trust_false_positives =
+        static_cast<double>(false_positives_sum) / static_cast<double>(seeds);
+    point.mean_trust_filtered = trust_filtered_sum / seeds;
+    point.mean_detection_latency_s = detection_latency_sum / static_cast<double>(seeds);
   }
   return point;
 }

@@ -40,6 +40,16 @@ struct SeriesPoint {
   std::uint64_t mean_custody_stored{0};
   std::uint64_t mean_custody_offers{0};
   std::uint64_t mean_custody_accepted{0};
+  // Adversary axis + trust layer, averaged. adversary_active gates the
+  // conditional BENCH json fields exactly like dtn_active.
+  bool adversary_active{false};
+  std::uint64_t mean_adversary_nodes{0};
+  std::uint64_t mean_adversary_absorbed{0};
+  std::uint64_t mean_adversary_poisoned{0};
+  double mean_trust_isolations{0.0};
+  double mean_trust_false_positives{0.0};
+  std::uint64_t mean_trust_filtered{0};
+  double mean_detection_latency_s{0.0};
   std::vector<stats::RunResult> runs;   // raw results (one per seed)
 };
 

@@ -56,11 +56,16 @@ ExperimentBuilder::ApplyFn named_knob(const std::string& param) {
   if (param == "session_duty") {
     return [](ScenarioConfig& c, double x) { c.sessions.duty = x; };
   }
+  // Adversary axis: fraction of nodes compromised (mode/trust come from
+  // the base config — with_adversaries / with_trust).
+  if (param == "adversary_fraction") {
+    return [](ScenarioConfig& c, double x) { c.faults.spec.adversary_fraction = x; };
+  }
   throw std::invalid_argument(
       "unknown sweep parameter \"" + param +
       "\" (known: range_m, max_speed_mps, node_count, member_fraction, "
       "gossip_interval_ms, churn_per_min, crash_fraction, partition_s, "
-      "custody_max_msgs, session_duty); use "
+      "custody_max_msgs, session_duty, adversary_fraction); use "
       "Experiment::sweep(param, values, apply) for custom knobs");
 }
 
@@ -244,6 +249,17 @@ bool ExperimentResult::write_json(const std::string& path) const {
             << ", \"custody_stored\": " << p.mean_custody_stored
             << ", \"custody_offers\": " << p.mean_custody_offers
             << ", \"custody_accepted\": " << p.mean_custody_accepted;
+      }
+      // Adversary/trust fields only appear when a run in this point
+      // carried the adversary axis — same gating contract as dtn_active.
+      if (p.adversary_active) {
+        out << ", \"adversary_nodes\": " << p.mean_adversary_nodes
+            << ", \"adversary_absorbed\": " << p.mean_adversary_absorbed
+            << ", \"adversary_poisoned\": " << p.mean_adversary_poisoned
+            << ", \"trust_isolations\": " << p.mean_trust_isolations
+            << ", \"trust_false_positives\": " << p.mean_trust_false_positives
+            << ", \"trust_filtered\": " << p.mean_trust_filtered
+            << ", \"detection_latency_s\": " << p.mean_detection_latency_s;
       }
       out << "}" << (i + 1 < series[s].points.size() ? "," : "") << "\n";
     }

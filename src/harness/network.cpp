@@ -25,8 +25,30 @@ Network::Network(const ScenarioConfig& config)
                             config_.member_count(), source_index(),
                             config_.duration.to_seconds(), sim_.rng().stream("faults"));
   }
+  // Adversary axis: resolved the same way (scripted roles plus synthesis
+  // on its own dedicated stream), gated by the AG_ADVERSARY hatch. Off —
+  // by hatch or by an unarmed config — the stack built below is exactly
+  // the pre-adversary one: no decorator, no sniffer, no extra stream use.
+  const bool adversary_on =
+      (config_.faults.spec.adversaries_any() || !plan.adversaries.empty() ||
+       config_.trust.enabled) &&
+      !sim::env_flag_off("AG_ADVERSARY");
+  if (adversary_on && config_.faults.spec.adversaries_any()) {
+    faults::synthesize_adversaries_into(plan, config_.faults.spec,
+                                        config_.node_count, source_index(),
+                                        sim_.rng().stream("adversary"));
+  }
   plan.validate(config_.node_count);
   const bool faulted = !plan.empty();
+  if (adversary_on) {
+    adversary_.assign(config_.node_count, nullptr);
+    adversary_role_.assign(config_.node_count, 0);
+    adversary_drop_.assign(config_.node_count, 0.0);
+    for (const faults::AdversaryAssignment& a : plan.adversaries) {
+      adversary_role_[a.node] = static_cast<std::uint8_t>(a.mode) + 1;
+      adversary_drop_[a.node] = a.drop_fraction;
+    }
+  }
 
   const ProtocolEntry& protocol = ProtocolRegistry::instance().entry(config_.protocol);
   const std::size_t members = config_.member_count();
@@ -56,6 +78,24 @@ Network::Network(const ScenarioConfig& config)
 
     stack->router = ProtocolRegistry::instance().build(
         RouterContext{sim_, *stack->mac, id, i, config_});
+    if (adversary_on) {
+      // Innermost decorator: adversarial misbehavior (or honest trust
+      // monitoring) sits directly on the protocol, below any custody
+      // wrap, so custody handoffs flow through the adversary seam too.
+      faults::AdversaryRouter::Role role;
+      role.adversarial = adversary_role_[i] != 0;
+      if (role.adversarial) {
+        role.mode = static_cast<faults::AdversaryMode>(adversary_role_[i] - 1);
+        role.drop_fraction = adversary_drop_[i];
+      }
+      const bool expect_all_relays = config_.protocol == Protocol::flooding ||
+                                     config_.protocol == Protocol::flooding_gossip;
+      auto wrapped = std::make_unique<faults::AdversaryRouter>(
+          sim_, *stack->mac, std::move(stack->router), role, config_.trust,
+          expect_all_relays, sim_.rng().stream("adversary_drop", i));
+      adversary_[i] = wrapped.get();
+      stack->router = std::move(wrapped);
+    }
     if (custody_on) {
       // Wrap whatever the registry built: custody is protocol-agnostic.
       auto wrapped = std::make_unique<dtn::CustodyRouter>(
@@ -84,7 +124,8 @@ Network::Network(const ScenarioConfig& config)
       // logical users (the source is excluded, mirroring MemberResult).
       // Analytic only — its dedicated rng stream and accounting can never
       // perturb the packet-level run.
-      if (config_.sessions.enabled() && i < members && i != source_index()) {
+      if (config_.sessions.enabled() && i < members && i != source_index() &&
+          !is_adversary(i)) {
         stack->sessions = std::make_unique<session::SessionManager>(
             config_.sessions, sim_.rng().stream("session", i));
         sink->attach_sessions(stack->sessions.get());
@@ -248,6 +289,10 @@ stats::RunResult Network::result() const {
   const std::size_t members = config_.member_count();
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     if (i == source_index()) continue;  // the source trivially has everything
+    // Compromised nodes don't score delivery: a blackhole "member" that
+    // absorbed everything would read as catastrophic loss when it is in
+    // fact the attack — the honest members' ratios are the measurement.
+    if (is_adversary(i)) continue;
     const NodeStack& s = *stacks_[i];
     // Rows: the configured members, plus any node a fault plan subscribed
     // mid-run. Nodes that never joined have nothing to report.
@@ -303,6 +348,40 @@ stats::RunResult Network::result() const {
     s->router->add_totals(t);
   }
   if (injector_ != nullptr) r.faults = injector_->stats();
+
+  // Adversary axis accounting. Per-decorator counters flowed in through
+  // add_totals above; isolation classification needs the ground-truth
+  // role map, so it happens here.
+  if (adversary_enabled()) {
+    t.adversary_active = true;
+    std::vector<sim::SimTime> first_detect(stacks_.size());
+    std::vector<std::uint8_t> detected(stacks_.size(), 0);
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      if (adversary_[i] == nullptr) continue;
+      for (const faults::AdversaryRouter::Isolation& iso :
+           adversary_[i]->isolation_log()) {
+        ++t.trust_isolations;
+        const auto target = static_cast<std::size_t>(iso.neighbor.value());
+        if (target >= stacks_.size() || adversary_role_[target] == 0) {
+          ++t.trust_false_positives;
+        } else if (detected[target] == 0 || iso.at < first_detect[target]) {
+          detected[target] = 1;
+          first_detect[target] = iso.at;
+        }
+      }
+    }
+    // Detection latency: workload start -> first isolation by ANY
+    // monitor, averaged over the true adversaries detected at all.
+    double latency_sum = 0.0;
+    std::uint64_t detections = 0;
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      if (detected[i] == 0) continue;
+      latency_sum += std::max(0.0, (first_detect[i] - config_.workload.start).to_seconds());
+      ++detections;
+    }
+    t.trust_detection_latency_s =
+        detections == 0 ? 0.0 : latency_sum / static_cast<double>(detections);
+  }
 
   // DTN/session accounting ("users served"). The eligibility denominator
   // counts, per sourced packet, the sessions that had subscribed by its

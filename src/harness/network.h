@@ -13,6 +13,7 @@
 #include "app/multicast_source.h"
 #include "dtn/contact_monitor.h"
 #include "dtn/custody_router.h"
+#include "faults/adversary.h"
 #include "faults/fault_injector.h"
 #include "gossip/gossip_agent.h"
 #include "session/session_manager.h"
@@ -80,6 +81,15 @@ class Network {
   [[nodiscard]] session::SessionManager* sessions(std::size_t i) {
     return stacks_[i]->sessions.get();
   }
+  // Node i's adversary/trust decorator, or nullptr when the axis is off
+  // (no roles, trust disabled, or the AG_ADVERSARY=off hatch).
+  [[nodiscard]] faults::AdversaryRouter* adversary(std::size_t i) {
+    return adversary_.empty() ? nullptr : adversary_[i];
+  }
+  [[nodiscard]] bool adversary_enabled() const { return !adversary_.empty(); }
+  [[nodiscard]] bool is_adversary(std::size_t i) const {
+    return !adversary_role_.empty() && adversary_role_[i] != 0;
+  }
 
  private:
   // FaultInjector hooks (no-ops unless the scenario carries a plan).
@@ -118,6 +128,14 @@ class Network {
   std::vector<dtn::CustodyRouter*> custody_;
   std::vector<std::uint8_t> gateway_;
   std::unique_ptr<dtn::ContactMonitor> contact_monitor_;
+  // Adversary axis (empty when the axis is off): per-node decorator
+  // pointers (owned by the stacks, below any custody wrap), the resolved
+  // role per node (0 = honest, else AdversaryMode + 1 — the ground truth
+  // result() classifies isolations against), and the selective-forward
+  // drop probability.
+  std::vector<faults::AdversaryRouter*> adversary_;
+  std::vector<std::uint8_t> adversary_role_;
+  std::vector<double> adversary_drop_;
   // Application-level intent per node: whether it currently wants group
   // membership (drives the automatic rejoin after a reboot).
   std::vector<std::uint8_t> wants_member_;

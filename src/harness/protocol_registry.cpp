@@ -28,6 +28,13 @@ std::unique_ptr<MulticastRouter> make_flood(const RouterContext& ctx) {
                                               ctx.config.maodv.data_ttl);
 }
 
+std::unique_ptr<MulticastRouter> make_flood_gossip(const RouterContext& ctx) {
+  return std::make_unique<flood::FloodRouter>(ctx.mac, ctx.id,
+                                              ctx.config.maodv.data_ttl,
+                                              flood::FloodRouter::kDedupCapacity,
+                                              /*gossip_links=*/true);
+}
+
 }  // namespace
 
 ProtocolRegistry::ProtocolRegistry() {
@@ -38,6 +45,8 @@ ProtocolRegistry::ProtocolRegistry() {
   add({Protocol::odmrp, "odmrp", /*gossip_capable=*/false, make_odmrp});
   add({Protocol::odmrp_gossip, "odmrp_gossip", /*gossip_capable=*/true,
        make_odmrp});
+  add({Protocol::flooding_gossip, "flooding_gossip", /*gossip_capable=*/true,
+       make_flood_gossip, /*core=*/false});
 }
 
 ProtocolRegistry& ProtocolRegistry::instance() {
@@ -109,7 +118,9 @@ const std::string& ProtocolRegistry::name_of(Protocol p) const {
 std::vector<Protocol> ProtocolRegistry::all() const {
   std::vector<Protocol> out;
   out.reserve(entries_.size());
-  for (const ProtocolEntry& e : entries_) out.push_back(e.protocol);
+  for (const ProtocolEntry& e : entries_) {
+    if (e.core) out.push_back(e.protocol);
+  }
   return out;
 }
 

@@ -28,6 +28,12 @@ enum class Protocol : std::uint8_t {
   flooding,      // blind flooding (related-work comparison, ablations)
   odmrp,         // bare ODMRP mesh (paper section 5.5's next target)
   odmrp_gossip,  // ODMRP + Anonymous Gossip over the mesh
+  // Flooding + Anonymous Gossip ("gossip over flood"): the flood router
+  // grows just enough adapter surface (heard-neighbor links, reverse-path
+  // hints) for gossip walks and replies to ride on it. Registered outside
+  // the core set — ProtocolRegistry::all() excludes it, so the headline
+  // benches keep their historical five-protocol sweeps byte-identical.
+  flooding_gossip,
 };
 
 struct ScenarioConfig {
@@ -55,6 +61,10 @@ struct ScenarioConfig {
   // AG_CUSTODY=off environment hatch forces custody off regardless.
   dtn::CustodyParams custody{};
   session::SessionParams sessions{};
+  // Trust-based detection & isolation (the defensive half of the
+  // adversary axis; the offensive half lives on faults.spec/plan). Off by
+  // default; AG_ADVERSARY=off forces the whole axis off regardless.
+  faults::TrustParams trust{};
 
   sim::SimTime duration{sim::SimTime::seconds(600.0)};
   // Members join within [0, join_spread) of the start ("all the nodes
@@ -96,7 +106,8 @@ struct ScenarioConfig {
   }
   ScenarioConfig& with_protocol(Protocol p) {
     protocol = p;
-    gossip.enabled = (p == Protocol::maodv_gossip || p == Protocol::odmrp_gossip);
+    gossip.enabled = (p == Protocol::maodv_gossip || p == Protocol::odmrp_gossip ||
+                      p == Protocol::flooding_gossip);
     return *this;
   }
   ScenarioConfig& with_seed(std::uint64_t s) {
@@ -113,6 +124,17 @@ struct ScenarioConfig {
   ScenarioConfig& with_sessions(std::uint32_t per_node, double duty = 1.0) {
     sessions.per_node = per_node;
     sessions.duty = duty;
+    return *this;
+  }
+  ScenarioConfig& with_adversaries(double fraction,
+                                   faults::AdversaryMode mode =
+                                       faults::AdversaryMode::blackhole) {
+    faults.spec.adversary_fraction = fraction;
+    faults.spec.adversary_mode = mode;
+    return *this;
+  }
+  ScenarioConfig& with_trust(bool enabled = true) {
+    trust.enabled = enabled;
     return *this;
   }
 };

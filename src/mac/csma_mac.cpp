@@ -203,6 +203,7 @@ void CsmaMac::start_transmission() {
     ++counters_.unicast_sent;
     if (retries_ > 0) ++counters_.retries;
   }
+  if (sniffer_ != nullptr) sniffer_->on_frame_transmitted(frame);
   radio_.transmit(frame);
 }
 
@@ -297,7 +298,10 @@ void CsmaMac::on_frame_received(const Frame& frame) {
     }
     return;
   }
-  // Data frame.
+  // Data frame. The sniffer tap fires before the destination filter and
+  // rx dedup: promiscuous observation sees every decodable transmission,
+  // exactly what a watchdog-style trust monitor needs.
+  if (sniffer_ != nullptr) sniffer_->on_frame_overheard(frame);
   if (frame.mac_dst == self_) {
     send_ack(frame.mac_src, frame.mac_seq);
     auto [seq, fresh] = last_rx_seq_.try_emplace(frame.mac_src, frame.mac_seq);

@@ -49,12 +49,27 @@ class MacListener {
   virtual void on_unicast_failed(const net::Packet& packet, net::NodeId next_hop) = 0;
 };
 
+// Promiscuous observation tap: every in-range data frame the radio
+// decodes (including unicasts addressed to other nodes, before the
+// destination filter and rx dedup) plus this MAC's own data
+// transmissions. Pure observation — a sniffer cannot alter what the MAC
+// delivers or sends. Null by default: the only cost to the hot path when
+// unset is one predictable branch per data frame. The trust layer
+// (faults::AdversaryRouter) is the one consumer.
+class MacSniffer {
+ public:
+  virtual ~MacSniffer() = default;
+  virtual void on_frame_overheard(const Frame& frame) = 0;
+  virtual void on_frame_transmitted(const Frame& frame) = 0;
+};
+
 class CsmaMac final : public phy::RadioListener {
  public:
   CsmaMac(sim::Simulator& sim, phy::Radio& radio, const phy::Channel& channel,
           net::NodeId self, MacParams params, sim::Rng rng);
 
   void set_listener(MacListener* listener) { listener_ = listener; }
+  void set_sniffer(MacSniffer* sniffer) { sniffer_ = sniffer; }
 
   // Queues a shared packet for `mac_dst` (a neighbor or broadcast()).
   // Returns false when the interface queue is full (packet dropped). The
@@ -142,6 +157,7 @@ class CsmaMac final : public phy::RadioListener {
   MacParams params_;
   sim::Rng rng_;
   MacListener* listener_{nullptr};
+  MacSniffer* sniffer_{nullptr};
 
   std::deque<Outgoing> queue_;
   State state_{State::idle};

@@ -110,6 +110,21 @@ struct NetworkTotals {
   std::uint64_t custody_offers_failed{0};
   std::uint64_t custody_accepted{0};          // received handoffs new to the node
   std::uint64_t custody_duplicates{0};
+  // --- adversary axis + trust layer (src/faults/adversary.h; all zero
+  // when the axis is inactive) ---
+  std::uint64_t adversary_nodes{0};       // compromised roles in the run
+  std::uint64_t adversary_absorbed{0};    // payloads swallowed by adversaries
+  std::uint64_t adversary_poisoned{0};    // gossip rounds poisoned or eaten
+  std::uint64_t trust_isolations{0};      // (node, isolator) pairs fired
+  std::uint64_t trust_false_positives{0}; // of which named an honest node
+  std::uint64_t trust_filtered{0};        // packets/sends refused post-isolation
+  // Mean sim-seconds from workload start to a true adversary's FIRST
+  // isolation by any monitor, over the adversaries detected at all.
+  double trust_detection_latency_s{0.0};
+  // True when this run carried the adversary axis (roles assigned or the
+  // trust layer armed). Gates the conditional BENCH json fields, exactly
+  // like dtn_active.
+  bool adversary_active{false};
   // --- user-session layer (src/session; zero sessions when disabled) ---
   session::SessionTotals sessions;
   // True when this run carried the DTN/session subsystem (custody enabled

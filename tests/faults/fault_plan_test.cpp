@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 namespace ag::faults {
 namespace {
@@ -91,6 +92,42 @@ TEST(FaultPlanValidate, RejectsPartitionAtExactHealInstant) {
   FaultPlan p;
   p.partition_at_x(-1.0, 100.0, 30.0).partition_at_x(-1.0, 10.0, 90.0);
   EXPECT_THROW(p.validate(10), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectionsNameTheOffendingEntryByIndex) {
+  // The error message contract: every rejection points at its plan entry
+  // ("crashes[1]"), not just at "a node somewhere" — a bad synthesized
+  // sweep is debugged from this string alone.
+  const auto message_of = [](const FaultPlan& p) {
+    try {
+      p.validate(10);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string{};
+  };
+
+  FaultPlan crash_bad;
+  crash_bad.crash(1, 10.0, 5.0).crash(12, 30.0, 5.0);
+  EXPECT_NE(message_of(crash_bad).find("crashes[1]"), std::string::npos)
+      << message_of(crash_bad);
+
+  FaultPlan overlap;
+  overlap.crash(2, 10.0, 30.0).crash(2, 20.0, 10.0);
+  const std::string overlap_msg = message_of(overlap);
+  EXPECT_NE(overlap_msg.find("crashes[1]"), std::string::npos) << overlap_msg;
+  EXPECT_NE(overlap_msg.find("crashes[0]"), std::string::npos) << overlap_msg;
+
+  FaultPlan part_bad;
+  part_bad.partition_at_x(-1.0, 10.0, 30.0).partition_at_x(-1.0, 20.0, 5.0);
+  EXPECT_NE(message_of(part_bad).find("partitions[1]"), std::string::npos)
+      << message_of(part_bad);
+
+  FaultPlan member_bad;
+  member_bad.leave(1, 5.0);
+  member_bad.leave(12, 6.0);
+  EXPECT_NE(message_of(member_bad).find("membership[1]"), std::string::npos)
+      << message_of(member_bad);
 }
 
 TEST(FaultPlanValidate, RejectsOverlappingPartitions) {
