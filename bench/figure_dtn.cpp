@@ -42,10 +42,16 @@ struct CellReport {
 };
 
 std::uint64_t total_sim_events(const ag::harness::ExperimentResult& result) {
+  // Effective (engine-independent) count: events executed plus the work
+  // the batched MAC/phy engines represented without an event, so the
+  // emitted JSON is byte-identical across every AG_BATCHED_* mode.
   std::uint64_t events = 0;
   for (const ag::harness::FigureSeries& s : result.series) {
     for (const ag::harness::SeriesPoint& p : s.points) {
-      for (const ag::stats::RunResult& r : p.runs) events += r.totals.sim_events;
+      for (const ag::stats::RunResult& r : p.runs) {
+        events += r.totals.sim_events + r.totals.mac_events_elided() +
+                  r.totals.phy_events_elided();
+      }
     }
   }
   return events;

@@ -197,6 +197,85 @@ void BM_SaturatedCellContention(benchmark::State& state) {
 }
 BENCHMARK(BM_SaturatedCellContention)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// Dense-cell delivery storm: every node in mutual range, every queue
+// stuffed with broadcasts — each transmission fans out to n-1 receivers,
+// so the per-receiver reference engine executes one finish event per
+// (frame, receiver) pair while the batched engine sweeps each group
+// with one completion event and elides doomed receptions outright. The
+// isolation bench for phy::BatchedPhy. Reports events per delivered
+// frame plus the elided/coalesced reception split. Arg(1) = batched
+// delivery engine (default), Arg(0) = per-receiver reference via
+// AG_BATCHED_PHY=off.
+void BM_DenseCellDeliveryStorm(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  // Save/restore any user-set engine choice so later benchmarks in this
+  // process still measure what the caller asked for.
+  // ag-lint: allow(env, A/B bench saves the caller's engine choice)
+  const char* prior_raw = getenv("AG_BATCHED_PHY");
+  const std::string prior = prior_raw == nullptr ? "" : prior_raw;
+  const bool had_prior = prior_raw != nullptr;
+  // ag-lint: allow(env, A/B bench toggles the escape hatch per Arg)
+  setenv("AG_BATCHED_PHY", batched ? "on" : "off", 1);
+  constexpr std::size_t kNodes = 24;
+  constexpr int kFramesPerNode = 30;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t rx_elided = 0;
+  std::uint64_t rx_coalesced = 0;
+  for (auto _ : state) {
+    std::vector<mobility::Vec2> positions;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      positions.push_back({static_cast<double>(i % 6) * 8.0,
+                           static_cast<double>(i / 6) * 8.0});
+    }
+    sim::Simulator sim;
+    mobility::StaticMobility mobility{std::move(positions)};
+    phy::Channel channel{sim, mobility, phy::PhyParams{100.0, 2e6, 192.0, 3e8}};
+    std::vector<std::unique_ptr<phy::Radio>> radios;
+    std::vector<std::unique_ptr<mac::CsmaMac>> macs;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      radios.push_back(std::make_unique<phy::Radio>(sim, channel, i));
+      channel.attach(radios.back().get());
+      macs.push_back(std::make_unique<mac::CsmaMac>(
+          sim, *radios.back(), channel, net::NodeId{static_cast<std::uint32_t>(i)},
+          mac::MacParams{}, sim.rng().stream("mac", i)));
+    }
+    for (int f = 0; f < kFramesPerNode; ++f) {
+      for (auto& m : macs) {
+        net::Packet p;
+        p.src = m->self();
+        p.payload = aodv::HelloMsg{m->self(), net::SeqNo{1}};
+        m->send(net::NodeId::broadcast(), std::move(p));
+      }
+    }
+    sim.run_all();
+    events += sim.executed_events();
+    rx_elided += channel.rx_elided();
+    rx_coalesced += channel.rx_coalesced();
+    for (auto& m : macs) delivered += m->counters().delivered_up;
+  }
+  if (had_prior) {
+    // ag-lint: allow(env, A/B bench restores the caller's engine choice)
+    setenv("AG_BATCHED_PHY", prior.c_str(), 1);
+  } else {
+    // ag-lint: allow(env, A/B bench restores the caller's engine choice)
+    unsetenv("AG_BATCHED_PHY");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  if (delivered > 0) {
+    state.counters["events_per_delivered_frame"] =
+        static_cast<double>(events) / static_cast<double>(delivered);
+  }
+  if (events > 0) {
+    state.counters["phy_rx_elided_share"] =
+        static_cast<double>(rx_elided) / static_cast<double>(events + rx_elided + rx_coalesced);
+    state.counters["phy_rx_coalesced_share"] =
+        static_cast<double>(rx_coalesced) /
+        static_cast<double>(events + rx_elided + rx_coalesced);
+  }
+}
+BENCHMARK(BM_DenseCellDeliveryStorm)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 // Whole-stack throughput: a complete 40-node scenario, measured in
 // simulated events per second of wall clock.
 void BM_FullScenarioEventsPerSecond(benchmark::State& state) {

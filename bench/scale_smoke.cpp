@@ -12,6 +12,16 @@
 // 40) so the bench measures simulator scale, not protocol collapse under
 // ever-larger groups.
 //
+// Points up to 1000 nodes simulate the full 80 s (workload 20-60 s), so
+// their numbers stay comparable across the perf trajectory. Beyond that
+// the simulated duration shrinks to hold node-seconds constant at
+// 1000 * 80 — a 5000-node point simulates 16 s — because a saturated
+// medium generates events proportional to n * duration and huge points
+// must still land inside a CI-sized wall-clock budget. The per-point
+// duration is printed and recorded in BENCH_scale.json, and the
+// workload window scales with it (25-75 % of the run), so every point
+// states exactly what it measured.
+//
 // Usage: scale_smoke [--protocols=name,name] [--nodes=n,n,...]
 #include <cerrno>
 #include <chrono>
@@ -86,17 +96,26 @@ std::vector<std::size_t> nodes_from_cli(int argc, char** argv,
   return fallback;
 }
 
-// Per-category scheduled/executed event counts plus the slots the
-// analytic MAC countdown elided, summed over every run of a point.
+// Per-category scheduled/executed event counts plus the work the
+// analytic engines elided (MAC slot/DIFS events, phy reception
+// completions), summed over every run of a point.
 struct EventMixTotals {
   std::uint64_t scheduled[ag::sim::kEventCategoryCount]{};
   std::uint64_t executed[ag::sim::kEventCategoryCount]{};
   std::uint64_t slots_elided{0};
   std::uint64_t difs_elided{0};
+  std::uint64_t phy_rx_elided{0};
+  std::uint64_t phy_rx_coalesced{0};
 };
+
+// Node-seconds ceiling: the full-length duration times the largest node
+// count that still runs it (see the header comment).
+constexpr double kFullDurationS = 80.0;
+constexpr double kMaxNodeSeconds = 1000.0 * kFullDurationS;
 
 struct PointReport {
   std::size_t nodes;
+  double duration_s;
   double wall_s;
   std::uint64_t sim_events;
   EventMixTotals mix;
@@ -124,6 +143,8 @@ EventMixTotals total_event_mix(const ag::harness::ExperimentResult& result) {
         }
         mix.slots_elided += r.totals.mac_slots_elided();
         mix.difs_elided += r.totals.mac_difs_elided;
+        mix.phy_rx_elided += r.totals.phy_rx_elided;
+        mix.phy_rx_coalesced += r.totals.phy_rx_coalesced;
       }
     }
   }
@@ -143,25 +164,32 @@ bool write_scale_json(const std::string& path, const std::vector<PointReport>& r
       << ",\n";
   out << "  \"batched_backoff\": "
       << (ag::mac::batched_backoff_enabled() ? "true" : "false") << ",\n";
+  out << "  \"batched_phy\": "
+      << (ag::phy::batched_phy_enabled() ? "true" : "false") << ",\n";
   out << "  \"points\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const PointReport& rep = reports[i];
     const double events_per_sec =
         rep.wall_s > 0.0 ? static_cast<double>(rep.sim_events) / rep.wall_s : 0.0;
-    // Mode-comparable throughput: elided backoff slots and absorbed DIFS
-    // waits represent the same simulated work whether or not they became
-    // events, so adding them back makes batched and per-slot runs
-    // directly comparable (and the two rates coincide when nothing is
+    // Mode-comparable throughput: elided backoff slots, absorbed DIFS
+    // waits, and reception completions the batched phy resolved without
+    // an event all represent the same simulated work whether or not they
+    // became events, so adding them back makes every engine combination
+    // directly comparable (and the rates coincide when nothing is
     // elided).
     const std::uint64_t effective_events =
-        rep.sim_events + rep.mix.slots_elided + rep.mix.difs_elided;
+        rep.sim_events + rep.mix.slots_elided + rep.mix.difs_elided +
+        rep.mix.phy_rx_elided + rep.mix.phy_rx_coalesced;
     const double effective_per_sec =
         rep.wall_s > 0.0 ? static_cast<double>(effective_events) / rep.wall_s : 0.0;
-    out << "    {\"nodes\": " << rep.nodes << ", \"wall_clock_s\": " << rep.wall_s
+    out << "    {\"nodes\": " << rep.nodes << ", \"sim_duration_s\": " << rep.duration_s
+        << ", \"wall_clock_s\": " << rep.wall_s
         << ", \"sim_events\": " << rep.sim_events
         << ", \"events_per_sec\": " << events_per_sec
         << ", \"mac_slots_elided\": " << rep.mix.slots_elided
         << ", \"mac_difs_elided\": " << rep.mix.difs_elided
+        << ", \"phy_rx_elided\": " << rep.mix.phy_rx_elided
+        << ", \"phy_rx_coalesced\": " << rep.mix.phy_rx_coalesced
         << ", \"effective_events\": " << effective_events
         << ", \"effective_events_per_sec\": " << effective_per_sec
         << ", \"event_mix\": {";
@@ -204,19 +232,25 @@ int main(int argc, char** argv) {
       nodes_from_cli(argc, argv, {40, 120, 250, 500, 1000, 2000});
 
   harness::ScenarioConfig base = bench::paper_base();
-  base.duration = sim::SimTime::seconds(80.0);
-  base.workload.start = sim::SimTime::seconds(20.0);
-  base.workload.end = sim::SimTime::seconds(60.0);
   const bool index_on = base.phy.use_spatial_index && !phy::spatial_index_env_off();
 
   std::printf("== Scaling smoke (constant mean degree, short run; spatial index %s, "
-              "batched backoff %s) ==\n",
-              index_on ? "on" : "OFF", mac::batched_backoff_enabled() ? "on" : "OFF");
-  std::printf("%-8s %-10s %-12s %-12s per-protocol received avg (delivery)\n",
-              "#nodes", "wall(s)", "sim events", "events/s");
+              "batched backoff %s, batched phy %s) ==\n",
+              index_on ? "on" : "OFF", mac::batched_backoff_enabled() ? "on" : "OFF",
+              phy::batched_phy_enabled() ? "on" : "OFF");
+  std::printf("%-8s %-7s %-10s %-12s %-12s per-protocol received avg (delivery)\n",
+              "#nodes", "sim(s)", "wall(s)", "sim events", "events/s");
 
   std::vector<PointReport> reports;
   for (const std::size_t n : node_counts) {
+    // Node-seconds cap: full 80 s through 1000 nodes, shrinking beyond
+    // (see the header comment). Workload occupies the middle half.
+    const double duration_s =
+        std::min(kFullDurationS, kMaxNodeSeconds / static_cast<double>(n));
+    harness::ScenarioConfig point_base = base;
+    point_base.duration = sim::SimTime::seconds(duration_s);
+    point_base.workload.start = sim::SimTime::seconds(0.25 * duration_s);
+    point_base.workload.end = sim::SimTime::seconds(0.75 * duration_s);
     // ag-lint: allow(determinism, wall-clock measures the harness itself)
     const auto t0 = std::chrono::steady_clock::now();
     harness::ExperimentResult result =
@@ -227,7 +261,7 @@ int main(int argc, char** argv) {
                                          .with_max_speed(1.0);
                                      c.member_fraction = std::min(1.0, 13.0 / x);
                                    })
-            .base(base)
+            .base(point_base)
             .protocols(protocols)
             .seeds(seeds)
             .parallel()
@@ -239,8 +273,8 @@ int main(int argc, char** argv) {
     const std::uint64_t events = total_sim_events(result);
     EventMixTotals mix = total_event_mix(result);
 
-    std::printf("%-8zu %-10.2f %-12llu %-12.3g",
-                n, wall_s, static_cast<unsigned long long>(events),
+    std::printf("%-8zu %-7.0f %-10.2f %-12llu %-12.3g",
+                n, duration_s, wall_s, static_cast<unsigned long long>(events),
                 wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0);
     for (const harness::FigureSeries& s : result.series) {
       const harness::SeriesPoint& p = s.points.front();
@@ -249,7 +283,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     std::fflush(stdout);
-    reports.push_back({n, wall_s, events, mix, std::move(result)});
+    reports.push_back({n, duration_s, wall_s, events, mix, std::move(result)});
   }
 
   if (!write_scale_json("BENCH_scale.json", reports, seeds, index_on)) {

@@ -109,17 +109,18 @@ def main() -> int:
         index = json.dumps(data.get("spatial_index", "?"))
         dense = json.dumps(data.get("dense_tables", "?"))
         batched = json.dumps(data.get("batched_backoff", "?"))
+        batched_phy = json.dumps(data.get("batched_phy", "?"))
         print(
             f"seeds: {seeds} · spatial index: {index} · dense tables: {dense}"
-            f" · batched backoff: {batched}\n"
+            f" · batched backoff: {batched} · batched phy: {batched_phy}\n"
         )
     print(
-        "| point | wall (s) | sim events | events/sec "
+        "| point | sim (s) | wall (s) | sim events | events/sec "
         "| events elided | effective ev/sec | per-protocol delivery "
         "| users served | trust iso/fp |"
     )
     print(
-        "|:------|---------:|-----------:|-----------:"
+        "|:------|--------:|---------:|-----------:|-----------:"
         "|--------------:|-----------------:|:----------------------"
         "|:-------------|:-------------|"
     )
@@ -130,14 +131,27 @@ def main() -> int:
     if not points:
         # Placeholder row: the budget tripped before the first point (or
         # the schema changed) — keep the table well-formed either way.
-        print("| _no points recorded_ | — | — | — | — | — | — | — | — |")
+        print("| _no points recorded_ | — | — | — | — | — | — | — | — | — |")
     for point in points:
-        elided = _num(point.get("mac_slots_elided")) + _num(point.get("mac_difs_elided"))
+        # MAC slot/DIFS elision plus the phy receptions the batched
+        # delivery engine resolved without their own event (elided
+        # outright or coalesced into a group sweep).
+        elided = (
+            _num(point.get("mac_slots_elided"))
+            + _num(point.get("mac_difs_elided"))
+            + _num(point.get("phy_rx_elided"))
+            + _num(point.get("phy_rx_coalesced"))
+        )
         effective = _num(
             point.get("effective_events_per_sec"), _num(point.get("events_per_sec"))
         )
+        # Simulated seconds per point (scale_smoke caps node-seconds, so
+        # huge points run shorter); absent from dtn/older BENCH files.
+        sim_s = point.get("sim_duration_s")
+        sim_cell = f"{_num(sim_s):g}" if isinstance(sim_s, (int, float)) else "—"
         print(
             f"| {_point_label(point)} "
+            f"| {sim_cell} "
             f"| {_num(point.get('wall_clock_s')):.2f} "
             f"| {_num(point.get('sim_events')):,} "
             f"| {_num(point.get('events_per_sec')):,.0f} "

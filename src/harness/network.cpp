@@ -324,6 +324,8 @@ stats::RunResult Network::result() const {
   t.phy_deliveries = channel_->deliveries();
   t.phy_suppressed_down = channel_->suppressed_down();
   t.phy_suppressed_partition = channel_->suppressed_partition();
+  t.phy_rx_elided = channel_->rx_elided();
+  t.phy_rx_coalesced = channel_->rx_coalesced();
   t.sim_events = sim_.executed_events();
   const sim::Simulator::EventMix& mix = sim_.event_mix();
   for (std::size_t c = 0; c < sim::kEventCategoryCount; ++c) {

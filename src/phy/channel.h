@@ -24,15 +24,23 @@
 
 namespace ag::phy {
 
+class BatchedPhy;
 class Radio;
 
 // True when AG_SPATIAL_INDEX=off|0|false is set in the environment — the
 // process-wide escape hatch disabling the spatial index (see README).
 [[nodiscard]] bool spatial_index_env_off();
 
+// True unless AG_BATCHED_PHY=off|0|false is set in the environment — the
+// process-wide escape hatch selecting the per-receiver reference phy
+// engine (see README and phy/batched_phy.h). Combined with
+// PhyParams::use_batched_phy at Channel construction.
+[[nodiscard]] bool batched_phy_enabled();
+
 class Channel {
  public:
   Channel(sim::Simulator& sim, const mobility::MobilityModel& mobility, PhyParams params);
+  ~Channel();
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -93,7 +101,51 @@ class Channel {
   // The live index, or nullptr before the first transmit / when disabled.
   [[nodiscard]] const SpatialIndex* spatial_index() const { return index_.get(); }
 
+  // The batched delivery engine, or nullptr when the per-receiver
+  // reference engine is selected (params flag and the AG_BATCHED_PHY
+  // environment override, resolved at construction). Radios pick their
+  // state backend from this at construction.
+  [[nodiscard]] BatchedPhy* batched_engine() { return batched_.get(); }
+  // --- batched-engine elision accounting (zero in the reference engine;
+  // see stats::NetworkTotals::phy_events_elided) ---
+  // Receptions resolved analytically with no completion event scheduled.
+  [[nodiscard]] std::uint64_t rx_elided() const;
+  // Live receivers beyond the first swept by one completion event.
+  [[nodiscard]] std::uint64_t rx_coalesced() const;
+
  private:
+  friend class BatchedPhy;
+
+  // Pooled receiver buffers for the delivery/completion event lambdas.
+  // The pool is shared_ptr-held because the lambdas (and their
+  // pool-returning deleters) can outlive the Channel: harness::Network
+  // destroys the channel before the simulator.
+  using RxBuf = std::vector<std::uint32_t>;
+  struct RxBufPool {
+    std::vector<std::unique_ptr<RxBuf>> free_list;
+  };
+  [[nodiscard]] std::shared_ptr<RxBuf> acquire_rx_buf();
+
+  // Delivery-time dispatch for one frame's receiver group: per-receiver
+  // begin_reception in the reference engine, one batched-engine group
+  // (with the cell-timeline verdict) otherwise.
+  void deliver_to(const RxBuf& rx, const std::shared_ptr<const mac::Frame>& frame,
+                  sim::SimTime end, std::size_t cell_col, std::size_t cell_row);
+
+  // --- per-cell airtime timeline (batched engine + spatial index only) --
+  // cell_busy_until_[row * nx + col] is a monotone high-water mark over
+  // the completion times of every frame group delivered with its sender
+  // in that cell, stamped over the 3x3 cell window that provably contains
+  // all its receivers. A new group whose 5x5 window (one extra ring
+  // absorbs node motion between stamp and query) is strictly below `now`
+  // is uncontended: no receiver can have a reception in flight, so the
+  // engine's collision branches are skipped in one pass per cell.
+  // Monotone maxima are never decremented — fully-elided groups need no
+  // cleanup event; stale future stamps only cost the fast path.
+  void ensure_timeline();
+  void stamp_timeline(std::size_t col, std::size_t row, sim::SimTime end);
+  [[nodiscard]] bool timeline_clear(std::size_t col, std::size_t row,
+                                    sim::SimTime now) const;
   sim::Simulator& sim_;
   const mobility::MobilityModel& mobility_;
   PhyParams params_;
@@ -107,7 +159,7 @@ class Channel {
   std::uint64_t suppressed_partition_{0};
   bool use_index_;
   std::unique_ptr<SpatialIndex> index_;   // built lazily at first transmit
-  std::vector<std::uint32_t> candidates_; // reused per transmit; no per-call alloc
+  std::unique_ptr<BatchedPhy> batched_;   // nullptr in the reference engine
   // Receivers of the in-flight transmit with their propagation delay (us),
   // in ascending node order. Receivers sharing a delay are delivered by
   // one batched event: at unit-disk ranges the +1 us quantization makes
@@ -115,6 +167,20 @@ class Channel {
   // one event instead of one per receiver — with execution order
   // identical to per-receiver events (FIFO ties, ascending node order).
   std::vector<std::pair<std::int64_t, std::uint32_t>> pending_;
+  // Distinct propagation delays of the in-flight transmit, in first-
+  // occurrence order, each owning a pooled receiver buffer — the reused
+  // scratch of the single-pass group-by (the delay count is 1 at
+  // unit-disk ranges, so the per-entry scan over it is O(1)).
+  std::vector<std::pair<std::int64_t, std::shared_ptr<RxBuf>>> groups_;
+  std::shared_ptr<RxBufPool> rx_pool_;
+  // Memoized airtime_of per wire_bytes value (index = bytes): the same
+  // FP divide/cast was recomputed for every transmission on the hottest
+  // path. -1 marks an uncomputed slot.
+  mutable std::vector<std::int64_t> airtime_us_by_bytes_;
+  std::vector<sim::SimTime> cell_busy_until_;  // empty until ensure_timeline
+  std::size_t timeline_nx_{0};
+  std::size_t timeline_ny_{0};
+  bool timeline_wrap_x_{false};
 };
 
 }  // namespace ag::phy

@@ -17,6 +17,13 @@ struct PhyParams {
   // testable forever. The AG_SPATIAL_INDEX=off environment escape hatch
   // overrides this at Channel construction.
   bool use_spatial_index{true};
+  // Batched phy delivery engine (see phy/batched_phy.h): one completion
+  // event per frame plus analytic elision of doomed receptions. Off
+  // falls back to the per-receiver reference engine in phy/radio.cpp —
+  // runs are bit-identical either way, only event counts differ. The
+  // AG_BATCHED_PHY=off environment escape hatch overrides this at
+  // Channel construction.
+  bool use_batched_phy{true};
 };
 
 }  // namespace ag::phy

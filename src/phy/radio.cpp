@@ -3,21 +3,53 @@
 #include <algorithm>
 #include <cassert>
 
+#include "phy/batched_phy.h"
 #include "phy/channel.h"
 
 namespace ag::phy {
 
 Radio::Radio(sim::Simulator& sim, Channel& channel, std::size_t node_index)
-    : sim_{sim}, channel_{channel}, node_index_{node_index} {}
+    : sim_{sim},
+      channel_{channel},
+      node_index_{node_index},
+      engine_{channel.batched_engine()} {}
 
-bool Radio::medium_busy() const { return transmitting_ || !active_rx_.empty(); }
+void Radio::set_listener(RadioListener* listener) {
+  listener_ = listener;
+  // Keep the engine's flat listener table in sync: the hot busy/idle
+  // notification path reads it instead of chasing Radio pointers.
+  if (engine_ != nullptr) engine_->set_listener(node_index_, listener);
+}
+
+bool Radio::transmitting() const {
+  if (engine_ != nullptr) return engine_->transmitting(node_index_);
+  return transmitting_;
+}
+
+bool Radio::medium_busy() const {
+  if (engine_ != nullptr) return engine_->medium_busy(node_index_);
+  return transmitting_ || !active_rx_.empty();
+}
 
 sim::Duration Radio::idle_for() const {
+  if (engine_ != nullptr) return engine_->idle_for(node_index_);
   if (medium_busy()) return sim::Duration::zero();
   return sim_.now() - idle_since_;
 }
 
+void Radio::abort_receptions() {
+  if (engine_ != nullptr) {
+    engine_->abort_receptions(node_index_);
+    return;
+  }
+  for (ActiveRx& rx : active_rx_) rx.corrupt = true;
+}
+
 void Radio::transmit(const mac::Frame& frame) {
+  if (engine_ != nullptr) {
+    engine_->transmit(node_index_, frame);
+    return;
+  }
   assert(!transmitting_ && "MAC must serialize transmissions");
   const bool was_busy = medium_busy();
   transmitting_ = true;
@@ -42,6 +74,10 @@ void Radio::transmit(const mac::Frame& frame) {
 }
 
 void Radio::begin_reception(std::shared_ptr<const mac::Frame> frame, sim::SimTime end) {
+  if (engine_ != nullptr) {
+    engine_->begin_reception(node_index_, std::move(frame), end);
+    return;
+  }
   const bool was_busy = medium_busy();
   ActiveRx rx{std::move(frame), end, /*corrupt=*/false};
   if (transmitting_) {

@@ -2,6 +2,13 @@
 // progress, and carrier state. Two receptions overlapping in time corrupt
 // each other (unit-disk interference, no capture); a node transmitting is
 // deaf to incoming frames.
+//
+// This file is the per-receiver REFERENCE engine (one finish_reception
+// event per reception) and the facade over the batched engine: when the
+// channel runs phy::BatchedPhy (AG_BATCHED_PHY, PhyParams::
+// use_batched_phy), radio state lives in the engine's flat per-node
+// arrays and every method forwards — same listener callbacks in the
+// same order, same counters, fewer events. See phy/batched_phy.h.
 #ifndef AG_PHY_RADIO_H
 #define AG_PHY_RADIO_H
 
@@ -14,6 +21,7 @@
 
 namespace ag::phy {
 
+class BatchedPhy;
 class Channel;
 
 // Implemented by the MAC layer.
@@ -33,10 +41,10 @@ class Radio {
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
 
-  void set_listener(RadioListener* listener) { listener_ = listener; }
+  void set_listener(RadioListener* listener);
   [[nodiscard]] std::size_t node_index() const { return node_index_; }
 
-  [[nodiscard]] bool transmitting() const { return transmitting_; }
+  [[nodiscard]] bool transmitting() const;
   // True while transmitting or while any energy (even a corrupted frame)
   // is on the air at this node — physical carrier sense.
   [[nodiscard]] bool medium_busy() const;
@@ -54,9 +62,7 @@ class Radio {
 
   // Crash support: destroys every reception in progress (the radio lost
   // power mid-frame). Not counted as a collision — nothing interfered.
-  void abort_receptions() {
-    for (ActiveRx& rx : active_rx_) rx.corrupt = true;
-  }
+  void abort_receptions();
 
   // Counters for the stats module.
   struct Counters {
@@ -68,6 +74,8 @@ class Radio {
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
  private:
+  friend class BatchedPhy;  // engine mode: counters_ + listener_ access
+
   struct ActiveRx {
     std::shared_ptr<const mac::Frame> frame;
     sim::SimTime end;
@@ -81,7 +89,9 @@ class Radio {
   Channel& channel_;
   std::size_t node_index_;
   RadioListener* listener_{nullptr};
+  BatchedPhy* engine_;  // nullptr in the reference engine
 
+  // Reference-engine state; untouched while engine_ is active.
   bool transmitting_{false};
   std::vector<ActiveRx> active_rx_;
   sim::SimTime idle_since_;  // valid when !medium_busy()

@@ -18,10 +18,13 @@ SpatialIndex::SpatialIndex(const mobility::MobilityModel& mobility,
                            double margin_fraction)
     : mobility_{mobility},
       node_count_{node_count},
+      range_m_{range_m},
       max_speed_mps_{mobility.max_speed_mps()},
       wrap_x_{mobility.wraps_x()} {
   margin_m_ = max_speed_mps_ > 0.0 ? margin_fraction * range_m : 0.0;
-  cell_m_ = range_m + margin_m_;
+  // 3x margin: one for receiver drift since the rebuild, two more so the
+  // per-sender cached query's stale anchor stays covered (see header).
+  cell_m_ = range_m + 3.0 * margin_m_;
   bounds_ = mobility_.bounds();
   // More than ~sqrt(n) cells per axis cannot push mean occupancy below
   // one node per cell, so wider grids only waste memory: grow the cells
@@ -75,10 +78,11 @@ void SpatialIndex::refresh_if_stale(sim::SimTime now) {
 }
 
 void SpatialIndex::rebuild(sim::SimTime now) {
-  for (std::vector<std::uint32_t>& cell : cells_) cell.clear();
+  for (std::vector<Entry>& cell : cells_) cell.clear();
   for (std::size_t i = 0; i < node_count_; ++i) {
     const mobility::Vec2 p = mobility_.position_of(i, now);
-    cells_[row_of(p.y) * nx_ + col_of(p.x)].push_back(static_cast<std::uint32_t>(i));
+    cells_[row_of(p.y) * nx_ + col_of(p.x)].push_back(
+        Entry{p.x, p.y, static_cast<std::uint32_t>(i)});
   }
   valid_until_ =
       max_speed_mps_ > 0.0
@@ -92,6 +96,26 @@ void SpatialIndex::rebuild(sim::SimTime now) {
 
 void SpatialIndex::collect_candidates(mobility::Vec2 from,
                                       std::vector<std::uint32_t>& out) const {
+  gather(from, range_m_ + margin_m_, out);
+}
+
+const std::vector<std::uint32_t>& SpatialIndex::candidates_for(std::size_t sender,
+                                                               mobility::Vec2 from) {
+  if (cache_stamp_.size() != node_count_) {
+    cache_stamp_.assign(node_count_, 0);  // rebuilds_ >= 1 after any refresh
+    cache_.assign(node_count_, {});
+  }
+  std::vector<std::uint32_t>& out = cache_[sender];
+  if (cache_stamp_[sender] != rebuilds_) {
+    out.clear();
+    gather(from, range_m_ + 3.0 * margin_m_, out);
+    cache_stamp_[sender] = rebuilds_;
+  }
+  return out;
+}
+
+void SpatialIndex::gather(mobility::Vec2 from, double reach,
+                          std::vector<std::uint32_t>& out) const {
   const std::size_t c0 = col_of(from.x);
   const std::size_t r0 = row_of(from.y);
 
@@ -113,13 +137,32 @@ void SpatialIndex::collect_candidates(mobility::Vec2 from,
     if (!dup) cols[n_cols++] = col;
   }
 
+  // Prefilter against the bucketed positions: a node can have moved at
+  // most margin_m_ since the rebuild (wrap models move continuously on
+  // the cylinder, so the circular x-distance obeys the same bound), so
+  // any node farther than `reach` from `from` at bucket time is provably
+  // out of true range for every query the reach was chosen for. The
+  // channel's exact check rejects those without touching any counter, so
+  // dropping them here is unobservable — it only replaces ~4x as many
+  // virtual position_of() calls (and a ~4x larger sort) with one
+  // contiguous distance test per bucketed neighbor. A circular dx that
+  // comes out negative (possible only for positions outside the declared
+  // bounds) underestimates the distance, which errs toward keeping the
+  // candidate.
+  const double reach_sq = reach * reach;
+  const double width = bounds_.width();
   for (std::ptrdiff_t dr = -1; dr <= 1; ++dr) {
     const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(r0) + dr;
     if (r < 0 || r >= static_cast<std::ptrdiff_t>(ny_)) continue;
     const auto row = static_cast<std::size_t>(r);
     for (std::size_t k = 0; k < n_cols; ++k) {
-      const std::vector<std::uint32_t>& cell = cells_[row * nx_ + cols[k]];
-      out.insert(out.end(), cell.begin(), cell.end());
+      for (const Entry& e : cells_[row * nx_ + cols[k]]) {
+        double dx = std::abs(from.x - e.x);
+        if (wrap_x_ && width - dx < dx) dx = width - dx;
+        const double dy = from.y - e.y;
+        if (dx * dx + dy * dy > reach_sq) continue;
+        out.push_back(e.id);
+      }
     }
   }
   // Ascending node order, so the channel visits candidates exactly as the

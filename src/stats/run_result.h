@@ -80,6 +80,22 @@ struct NetworkTotals {
   [[nodiscard]] std::uint64_t mac_events_elided() const {
     return mac_slots_elided() + mac_difs_elided;
   }
+  // --- batched phy engine elision accounting (phy/batched_phy.h; both
+  // zero in the per-receiver reference engine) ---
+  // Receptions resolved analytically with no completion event scheduled,
+  // credited as each would-be finish time passes, so counts stay exact
+  // across run cutoffs.
+  std::uint64_t phy_rx_elided{0};
+  // Live receivers beyond the first swept by one batched completion
+  // event (L receivers per event = L-1 reference finish events).
+  std::uint64_t phy_rx_coalesced{0};
+  // Reception completions the batched engine represented without their
+  // own event: executed phy_delivery events + this reconstructs exactly
+  // what the reference engine executes (pinned by
+  // batched_phy_equivalence_test).
+  [[nodiscard]] std::uint64_t phy_events_elided() const {
+    return phy_rx_elided + phy_rx_coalesced;
+  }
   // Data-plane work (net::DataPlaneCounters, diffed per run): logical
   // NodeTable/DenseMap operations and packet-pool allocation behaviour.
   // Counted at the container API level, so the dense and AG_DENSE_TABLES

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "mobility/static_mobility.h"
@@ -228,6 +229,89 @@ TEST(Channel, GoingDownDestroysReceptionInProgress) {
   EXPECT_TRUE(f.listeners_[1]->frames.empty());
   // Not a collision: nothing interfered with the frame.
   EXPECT_EQ(f.radios_[1]->counters().frames_corrupted, 0u);
+}
+
+// Pins AG_BATCHED_PHY for the scope of one fixture; the default
+// (unset) runs the batched engine, "off" the per-receiver reference.
+struct PhyModeGuard {
+  explicit PhyModeGuard(bool batched) {
+    if (batched) {
+      unsetenv("AG_BATCHED_PHY");
+    } else {
+      setenv("AG_BATCHED_PHY", "off", 1);
+    }
+    EXPECT_EQ(batched_phy_enabled(), batched);
+  }
+  ~PhyModeGuard() { unsetenv("AG_BATCHED_PHY"); }
+};
+
+TEST(Radio, AbortMidFrameDropsDeliveryUnderBothEngines) {
+  for (const bool batched : {true, false}) {
+    PhyModeGuard mode{batched};
+    PhyFixture f{{{0, 0}, {50, 0}}};
+    f.radios_[0]->transmit(test_frame(0));
+    // First bit has arrived (prop ~1 us); kill the reception mid-frame.
+    f.sim_.run_until(f.sim_.now() + sim::Duration::us(100));
+    f.radios_[1]->abort_receptions();
+    f.sim_.run_all();
+    EXPECT_TRUE(f.listeners_[1]->frames.empty()) << "batched=" << batched;
+    // Not a collision and not a half-duplex miss — nothing interfered.
+    EXPECT_EQ(f.radios_[1]->counters().frames_corrupted, 0u) << "batched=" << batched;
+    EXPECT_EQ(f.radios_[1]->counters().frames_missed_while_tx, 0u)
+        << "batched=" << batched;
+    // The aborted frame still occupies the air until its last bit: the
+    // busy/idle envelope is unchanged, the medium ends idle.
+    EXPECT_FALSE(f.radios_[1]->medium_busy()) << "batched=" << batched;
+    EXPECT_EQ(f.listeners_[1]->busy_events, 1) << "batched=" << batched;
+    EXPECT_EQ(f.listeners_[1]->idle_events, 1) << "batched=" << batched;
+  }
+}
+
+TEST(Radio, TxStartMidReceptionCorruptsItUnderBothEngines) {
+  for (const bool batched : {true, false}) {
+    PhyModeGuard mode{batched};
+    PhyFixture f{{{0, 0}, {50, 0}}};
+    f.radios_[0]->transmit(test_frame(0));
+    // Let the frame's first bit land at node 1, then start transmitting
+    // there: half duplex destroys the reception in progress.
+    f.sim_.run_until(f.sim_.now() + sim::Duration::us(100));
+    ASSERT_TRUE(f.radios_[1]->medium_busy()) << "batched=" << batched;
+    f.radios_[1]->transmit(test_frame(1));
+    f.sim_.run_all();
+    EXPECT_TRUE(f.listeners_[1]->frames.empty()) << "batched=" << batched;
+    EXPECT_EQ(f.radios_[1]->counters().frames_missed_while_tx, 1u)
+        << "batched=" << batched;
+    EXPECT_EQ(f.radios_[1]->counters().frames_corrupted, 0u) << "batched=" << batched;
+    EXPECT_EQ(f.listeners_[1]->tx_complete, 1) << "batched=" << batched;
+    // Node 0 is itself still transmitting when node 1's frame arrives,
+    // so it misses it too — counters must agree across engines.
+    EXPECT_TRUE(f.listeners_[0]->frames.empty()) << "batched=" << batched;
+    EXPECT_EQ(f.radios_[0]->counters().frames_missed_while_tx, 1u)
+        << "batched=" << batched;
+  }
+}
+
+TEST(Radio, EqualEndCollisionFiresSingleIdleTransitionUnderBothEngines) {
+  // Hidden terminals transmitting the same-size frame at the same time:
+  // both receptions at node 0 end in the same microsecond. The reference
+  // runs two finish events in FIFO order and only the last flips the
+  // medium idle; the batched engine must reproduce exactly one
+  // busy->idle transition — and must NOT analytically elide the second
+  // reception (its end only *equals* the cover, and eliding it would
+  // move on_medium_idle to the first finish). Regression for the strict
+  // `<` in the elision rule.
+  for (const bool batched : {true, false}) {
+    PhyModeGuard mode{batched};
+    PhyFixture f{{{0, 0}, {80, 0}, {-80, 0}}, 100.0};
+    f.radios_[1]->transmit(test_frame(1));
+    f.radios_[2]->transmit(test_frame(2));
+    f.sim_.run_all();
+    EXPECT_TRUE(f.listeners_[0]->frames.empty()) << "batched=" << batched;
+    EXPECT_EQ(f.radios_[0]->counters().frames_corrupted, 2u) << "batched=" << batched;
+    EXPECT_EQ(f.listeners_[0]->busy_events, 1) << "batched=" << batched;
+    EXPECT_EQ(f.listeners_[0]->idle_events, 1) << "batched=" << batched;
+    EXPECT_EQ(f.channel_.rx_elided(), 0u) << "batched=" << batched;
+  }
 }
 
 TEST(Channel, PartitionBlocksOnlyCrossSideFrames) {
