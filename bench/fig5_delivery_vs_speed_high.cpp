@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
       "Paper figure 5: delivery ratio vs maximum node speed (1-10 m/s).",
       "  max_speed_mps = {1..10}");
   const std::uint32_t seeds = harness::seeds_from_env(3);
-  bench::run_two_series_figure(
+  return bench::run_two_series_figure(
+      argc, argv,
       "Figure 5: Packet Delivery vs Maximum Speed (high range: 1-10 m/s)",
       "speed(m/s)", "fig5.csv", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
       [](harness::ScenarioConfig& c, double x) {
@@ -18,5 +19,4 @@ int main(int argc, char** argv) {
       },
       seeds, bench::paper_base(),
       bench::protocols_from_cli(argc, argv, bench::headline_protocols()));
-  return 0;
 }

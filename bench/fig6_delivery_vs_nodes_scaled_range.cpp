@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
       "Paper figure 6: delivery ratio vs node count at constant mean degree\n(range shrinks as nodes grow).",
       "  node_count = {40..100} (range scaled to hold mean degree)");
   const std::uint32_t seeds = harness::seeds_from_env(2);
-  bench::run_two_series_figure(
+  return bench::run_two_series_figure(
+      argc, argv,
       "Figure 6: Packet Delivery vs Number of Nodes (constant mean degree)",
       "#nodes", "fig6.csv", {40, 50, 60, 70, 80, 90, 100},
       [](harness::ScenarioConfig& c, double x) {
@@ -24,5 +25,4 @@ int main(int argc, char** argv) {
       },
       seeds, bench::paper_base(),
       bench::protocols_from_cli(argc, argv, bench::headline_protocols()));
-  return 0;
 }

@@ -11,7 +11,8 @@ int main(int argc, char** argv) {
       "Paper figure 7: delivery ratio vs node count at a fixed 55 m range.",
       "  node_count = {40..100}");
   const std::uint32_t seeds = harness::seeds_from_env(2);
-  bench::run_two_series_figure(
+  return bench::run_two_series_figure(
+      argc, argv,
       "Figure 7: Packet Delivery vs Number of Nodes (fixed 55 m range)",
       "#nodes", "fig7.csv", {40, 50, 60, 70, 80, 90, 100},
       [](harness::ScenarioConfig& c, double x) {
@@ -19,5 +20,4 @@ int main(int argc, char** argv) {
       },
       seeds, bench::paper_base(),
       bench::protocols_from_cli(argc, argv, bench::headline_protocols()));
-  return 0;
 }

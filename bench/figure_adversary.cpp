@@ -15,11 +15,11 @@
 //   isolation settings over {flooding_gossip, maodv_gossip}, 120 s runs.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "figure_common.h"
+#include "harness/atomic_io.h"
 
 namespace {
 
@@ -53,8 +53,9 @@ std::uint64_t total_sim_events(const ag::harness::ExperimentResult& result) {
 bool write_adversary_json(const std::string& path,
                           const std::vector<CellReport>& cells,
                           std::uint32_t seeds) {
-  std::ofstream out{path};
-  if (!out) return false;
+  ag::harness::AtomicFile file{path};
+  if (!file.ok()) return false;
+  std::ostream& out = file.stream();
   out << "{\n";
   out << "  \"experiment\": \"adversary\",\n";
   out << "  \"param\": \"adversary_fraction\",\n";
@@ -91,7 +92,7 @@ bool write_adversary_json(const std::string& path,
   }
   out << "  ]\n";
   out << "}\n";
-  return static_cast<bool>(out);
+  return file.commit();
 }
 
 }  // namespace
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
       "  adversary_fraction x mode {blackhole, selective_forward,\n"
       "  gossip_poison} x isolation {off, on}",
       "  --smoke           2 modes x 3 fractions, 120 s runs (CI)\n");
+  harness::install_interrupt_handlers();
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   // Two seeds even in smoke: the recovery margins this figure exists to
   // show are a handful of packets per run, and one seed of a 120 s
@@ -165,6 +167,10 @@ int main(int argc, char** argv) {
   for (const Mode& mode : modes) {
     for (const bool isolation : {false, true}) {
       for (const double fraction : fractions) {
+        if (harness::interrupt_requested()) {
+          std::fprintf(stderr, "%s: interrupted; no outputs written\n", argv[0]);
+          return harness::interrupt_exit_code();
+        }
         harness::ScenarioConfig cell_base = base;
         cell_base.faults.spec.adversary_mode = mode.mode;
         cell_base.trust.enabled = isolation;
@@ -223,6 +229,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (harness::interrupt_requested()) {
+    std::fprintf(stderr, "%s: interrupted; no outputs written\n", argv[0]);
+    return harness::interrupt_exit_code();
+  }
   if (!write_adversary_json("BENCH_adversary.json", cells, seeds)) {
     std::fprintf(stderr, "error: failed to write BENCH_adversary.json\n");
     return 1;

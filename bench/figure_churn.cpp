@@ -7,8 +7,11 @@
 // matters. Delivery is accounted per live membership interval: a member
 // is only charged for packets sourced while it was subscribed.
 //
-// Usage: figure_churn [--smoke] [--protocols=name,name]
+// Usage: figure_churn [--smoke] [--protocols=name,name] [--shards[=N]]
+//                     [--resume] [--merge]
 //   --smoke shrinks the run for CI (short duration, two churn points).
+//   --shards runs through the crash-resumable sharded driver; CI uses it
+//   with AG_SHARD_FAULT to prove recovery merges byte-identically.
 #include <cstdio>
 
 #include "figure_common.h"
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
   const std::vector<harness::Protocol> protocols = bench::protocols_from_cli(
       argc, argv, harness::ProtocolRegistry::instance().all());
 
-  harness::ExperimentResult result =
+  harness::ExperimentBuilder builder =
       harness::Experiment::sweep("churn_per_min", churn)
           .base(base)
           .protocols(protocols)
@@ -53,19 +56,8 @@ int main(int argc, char** argv) {
           .on_progress([](std::size_t done, std::size_t total) {
             std::printf("  [churn %zu/%zu runs]\n", done, total);
             std::fflush(stdout);
-          })
-          .run();
-
-  result.print("Delivery under churn + crashes + partition", "churn/min");
-  const bool csv_ok = result.write_csv("churn.csv");
-  const bool json_ok = result.write_json("BENCH_churn.json");
-  if (!csv_ok || !json_ok) {
-    std::fprintf(stderr, "error: failed to write %s\n",
-                 !csv_ok ? "churn.csv" : "BENCH_churn.json");
-    return 1;
-  }
-  std::printf("(csv written to churn.csv, json to BENCH_churn.json; %u seeds — "
-              "set AG_SEEDS to change%s)\n",
-              seeds, smoke ? "; --smoke run" : "");
-  return 0;
+          });
+  return bench::finish_figure(builder, bench::parse_shard_cli(argc, argv), argv[0],
+                              "Delivery under churn + crashes + partition",
+                              "churn/min", "churn.csv", "BENCH_churn.json", seeds);
 }

@@ -19,11 +19,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "figure_common.h"
+#include "harness/atomic_io.h"
 
 namespace {
 
@@ -59,8 +59,9 @@ std::uint64_t total_sim_events(const ag::harness::ExperimentResult& result) {
 
 bool write_dtn_json(const std::string& path, const std::vector<CellReport>& cells,
                     std::uint32_t seeds, std::uint32_t sessions_per_node) {
-  std::ofstream out{path};
-  if (!out) return false;
+  ag::harness::AtomicFile file{path};
+  if (!file.ok()) return false;
+  std::ostream& out = file.stream();
   out << "{\n";
   out << "  \"experiment\": \"dtn\",\n";
   out << "  \"param\": \"custody_max_msgs\",\n";
@@ -97,7 +98,7 @@ bool write_dtn_json(const std::string& path, const std::vector<CellReport>& cell
   }
   out << "  ]\n";
   out << "}\n";
-  return static_cast<bool>(out);
+  return file.commit();
 }
 
 }  // namespace
@@ -111,6 +112,7 @@ int main(int argc, char** argv) {
       "  custody_max_msgs = {0,16,64,256} x session duty x churn_per_min",
       "  --smoke           2x1x2 grid, short duration (CI)\n"
       "  --mega            10k nodes / 2M logical users, one cell\n");
+  harness::install_interrupt_handlers();
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   const bool mega = bench::has_flag(argc, argv, "--mega");
   const std::uint32_t seeds = harness::seeds_from_env(smoke || mega ? 1 : 2);
@@ -165,6 +167,10 @@ int main(int argc, char** argv) {
   for (const double duty : duties) {
     for (const double churn : churns) {
       for (const double budget : budgets) {
+        if (harness::interrupt_requested()) {
+          std::fprintf(stderr, "%s: interrupted; no outputs written\n", argv[0]);
+          return harness::interrupt_exit_code();
+        }
         harness::ScenarioConfig cell_base = base;
         cell_base.sessions.duty = duty;
         cell_base.faults.spec.churn_per_min = churn;
@@ -207,6 +213,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (harness::interrupt_requested()) {
+    std::fprintf(stderr, "%s: interrupted; no outputs written\n", argv[0]);
+    return harness::interrupt_exit_code();
+  }
   if (!write_dtn_json("BENCH_dtn.json", cells, seeds, kSessionsPerNode)) {
     std::fprintf(stderr, "error: failed to write BENCH_dtn.json\n");
     return 1;

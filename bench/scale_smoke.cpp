@@ -29,11 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "figure_common.h"
+#include "harness/atomic_io.h"
 #include "mac/csma_mac.h"
 #include "net/data_plane.h"
 #include "phy/channel.h"
@@ -153,8 +153,9 @@ EventMixTotals total_event_mix(const ag::harness::ExperimentResult& result) {
 
 bool write_scale_json(const std::string& path, const std::vector<PointReport>& reports,
                       std::uint32_t seeds, bool index_on) {
-  std::ofstream out{path};
-  if (!out) return false;
+  ag::harness::AtomicFile file{path};
+  if (!file.ok()) return false;
+  std::ostream& out = file.stream();
   out << "{\n";
   out << "  \"experiment\": \"scale_smoke\",\n";
   out << "  \"param\": \"node_count\",\n";
@@ -218,13 +219,14 @@ bool write_scale_json(const std::string& path, const std::vector<PointReport>& r
   }
   out << "  ]\n";
   out << "}\n";
-  return static_cast<bool>(out);
+  return file.commit();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ag;
+  harness::install_interrupt_handlers();
   const std::uint32_t seeds = harness::seeds_from_env(1);
   const std::vector<harness::Protocol> protocols =
       bench::protocols_from_cli(argc, argv, bench::headline_protocols());
@@ -243,6 +245,10 @@ int main(int argc, char** argv) {
 
   std::vector<PointReport> reports;
   for (const std::size_t n : node_counts) {
+    if (harness::interrupt_requested()) {
+      std::fprintf(stderr, "%s: interrupted; no outputs written\n", argv[0]);
+      return harness::interrupt_exit_code();
+    }
     // Node-seconds cap: full 80 s through 1000 nodes, shrinking beyond
     // (see the header comment). Workload occupies the middle half.
     const double duration_s =
@@ -286,6 +292,10 @@ int main(int argc, char** argv) {
     reports.push_back({n, duration_s, wall_s, events, mix, std::move(result)});
   }
 
+  if (harness::interrupt_requested()) {
+    std::fprintf(stderr, "%s: interrupted; no outputs written\n", argv[0]);
+    return harness::interrupt_exit_code();
+  }
   if (!write_scale_json("BENCH_scale.json", reports, seeds, index_on)) {
     std::fprintf(stderr, "error: failed to write BENCH_scale.json\n");
     return 1;

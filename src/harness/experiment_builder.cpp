@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <iomanip>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "harness/atomic_io.h"
+#include "harness/interrupt.h"
 #include "harness/protocol_registry.h"
 
 namespace ag::harness {
@@ -132,49 +133,109 @@ ExperimentBuilder& ExperimentBuilder::on_progress(
   return *this;
 }
 
-ExperimentResult ExperimentBuilder::run() const {
-  const ProtocolRegistry& registry = ProtocolRegistry::instance();
-  const std::uint32_t seeds = seeds_ == 0 ? seeds_from_env() : seeds_;
-  std::vector<Protocol> protocols = protocols_;
-  if (protocols.empty()) protocols = {base_.protocol};
+std::vector<Protocol> ExperimentBuilder::resolved_protocols() const {
+  if (!protocols_.empty()) return protocols_;
+  return {base_.protocol};
+}
 
-  // One job per (protocol, x, seed); results land in a pre-sized grid so
-  // aggregation order is independent of execution order.
-  struct Job {
-    ScenarioConfig config;
-    std::size_t slot;
-  };
-  std::vector<Job> jobs;
-  const std::size_t runs_per_point = seeds;
-  jobs.reserve(protocols.size() * values_.size() * runs_per_point);
-  for (std::size_t p = 0; p < protocols.size(); ++p) {
-    for (std::size_t v = 0; v < values_.size(); ++v) {
-      ScenarioConfig c = base_;
-      apply_(c, values_[v]);
-      c.with_protocol(protocols[p]);
-      for (std::uint32_t s = 1; s <= seeds; ++s) {
-        ScenarioConfig run = c;
-        run.with_seed(s);
-        jobs.push_back({run, (p * values_.size() + v) * runs_per_point + (s - 1)});
-      }
-    }
+std::uint32_t ExperimentBuilder::resolved_seeds() const {
+  return seeds_ == 0 ? seeds_from_env() : seeds_;
+}
+
+std::size_t ExperimentBuilder::cell_count() const {
+  return resolved_protocols().size() * values_.size() * resolved_seeds();
+}
+
+ScenarioConfig ExperimentBuilder::cell_config(std::size_t index) const {
+  const std::vector<Protocol> protocols = resolved_protocols();
+  const std::uint32_t seeds = resolved_seeds();
+  const std::size_t per_protocol = values_.size() * seeds;
+  if (index >= protocols.size() * per_protocol) {
+    throw std::out_of_range("ExperimentBuilder: cell index " +
+                            std::to_string(index) + " out of range (grid has " +
+                            std::to_string(protocols.size() * per_protocol) +
+                            " cells)");
   }
+  const std::size_t p = index / per_protocol;
+  const std::size_t v = (index % per_protocol) / seeds;
+  const auto s = static_cast<std::uint32_t>(index % seeds) + 1;
+  ScenarioConfig c = base_;
+  apply_(c, values_[v]);
+  c.with_protocol(protocols[p]);
+  c.with_seed(s);
+  return c;
+}
 
-  std::vector<stats::RunResult> results(jobs.size());
+CellId ExperimentBuilder::cell_id(std::size_t index) const {
+  const std::vector<Protocol> protocols = resolved_protocols();
+  const std::uint32_t seeds = resolved_seeds();
+  const std::size_t per_protocol = values_.size() * seeds;
+  if (index >= protocols.size() * per_protocol) {
+    throw std::out_of_range("ExperimentBuilder: cell index " +
+                            std::to_string(index) + " out of range");
+  }
+  CellId id;
+  id.protocol =
+      ProtocolRegistry::instance().name_of(protocols[index / per_protocol]);
+  id.x = values_[(index % per_protocol) / seeds];
+  id.seed = static_cast<std::uint32_t>(index % seeds) + 1;
+  return id;
+}
+
+stats::RunResult ExperimentBuilder::run_cell(std::size_t index) const {
+  return run_scenario(cell_config(index));
+}
+
+ExperimentResult ExperimentBuilder::assemble(
+    std::vector<std::optional<stats::RunResult>> cells, ShardingInfo sharding) const {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const std::vector<Protocol> protocols = resolved_protocols();
+  const std::uint32_t seeds = resolved_seeds();
+  const std::size_t runs_per_point = seeds;
+  cells.resize(protocols.size() * values_.size() * runs_per_point);
+
+  ExperimentResult out;
+  out.name = name_;
+  out.param = param_;
+  out.seeds = seeds;
+  out.sharding = std::move(sharding);
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    FigureSeries series{registry.name_of(protocols[p]), {}};
+    for (std::size_t v = 0; v < values_.size(); ++v) {
+      const std::size_t base_slot = (p * values_.size() + v) * runs_per_point;
+      // Failed shards leave holes: their seeds drop out of the point's
+      // aggregate (degraded but honest — the run never aborts).
+      std::vector<stats::RunResult> runs;
+      runs.reserve(runs_per_point);
+      for (std::size_t s = 0; s < runs_per_point; ++s) {
+        if (cells[base_slot + s].has_value()) {
+          runs.push_back(std::move(*cells[base_slot + s]));
+        }
+      }
+      series.points.push_back(aggregate_point(values_[v], std::move(runs)));
+    }
+    out.series.push_back(std::move(series));
+  }
+  return out;
+}
+
+ExperimentResult ExperimentBuilder::run() const {
+  const std::size_t total = cell_count();
+  std::vector<std::optional<stats::RunResult>> results(total);
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   auto worker = [&] {
-    while (true) {
+    while (!interrupt_requested()) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
-      results[jobs[i].slot] = run_scenario(jobs[i].config);
+      if (i >= total) return;
+      results[i] = run_cell(i);
       const std::size_t completed = done.fetch_add(1) + 1;
-      if (progress_) progress_(completed, jobs.size());
+      if (progress_) progress_(completed, total);
     }
   };
 
   const unsigned threads =
-      static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
+      static_cast<unsigned>(std::min<std::size_t>(threads_, total));
   if (threads <= 1) {
     worker();
   } else {
@@ -184,23 +245,7 @@ ExperimentResult ExperimentBuilder::run() const {
     for (std::thread& t : pool) t.join();
   }
 
-  ExperimentResult out;
-  out.name = name_;
-  out.param = param_;
-  out.seeds = seeds;
-  for (std::size_t p = 0; p < protocols.size(); ++p) {
-    FigureSeries series{registry.name_of(protocols[p]), {}};
-    for (std::size_t v = 0; v < values_.size(); ++v) {
-      const std::size_t base_slot = (p * values_.size() + v) * runs_per_point;
-      std::vector<stats::RunResult> runs(
-          std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(base_slot)),
-          std::make_move_iterator(results.begin() +
-                                  static_cast<std::ptrdiff_t>(base_slot + runs_per_point)));
-      series.points.push_back(aggregate_point(values_[v], std::move(runs)));
-    }
-    out.series.push_back(std::move(series));
-  }
-  return out;
+  return assemble(std::move(results));
 }
 
 void ExperimentResult::print(const std::string& title, const std::string& x_label) const {
@@ -212,8 +257,9 @@ bool ExperimentResult::write_csv(const std::string& path) const {
 }
 
 bool ExperimentResult::write_json(const std::string& path) const {
-  std::ofstream out{path};
-  if (!out) return false;
+  AtomicFile file{path};
+  if (!file.ok()) return false;
+  std::ostream& out = file.stream();
   out << std::setprecision(12);
   out << "{\n";
   out << "  \"experiment\": \"" << json_escaped(name) << "\",\n";
@@ -265,9 +311,29 @@ bool ExperimentResult::write_json(const std::string& path) const {
     }
     out << "    ]}" << (s + 1 < series.size() ? "," : "") << "\n";
   }
-  out << "  ]\n";
+  // Degraded sharded runs only: a sharded run whose every cell completed
+  // (even after retries) emits no section here, so its JSON stays
+  // byte-identical to the in-process serial run.
+  if (!sharding.failed.empty()) {
+    out << "  ],\n";
+    out << "  \"sharding\": {\"shards\": " << sharding.shards
+        << ", \"retried\": " << sharding.retried
+        << ", \"failed\": " << sharding.failed.size()
+        << ", \"failed_shards\": [\n";
+    for (std::size_t f = 0; f < sharding.failed.size(); ++f) {
+      const FailedShard& fs = sharding.failed[f];
+      out << "    {\"shard\": " << fs.shard << ", \"protocol\": \""
+          << json_escaped(fs.cell.protocol) << "\", \"x\": " << fs.cell.x
+          << ", \"seed\": " << fs.cell.seed << ", \"attempts\": " << fs.attempts
+          << ", \"reason\": \"" << json_escaped(fs.reason) << "\"}"
+          << (f + 1 < sharding.failed.size() ? "," : "") << "\n";
+    }
+    out << "  ]}\n";
+  } else {
+    out << "  ]\n";
+  }
   out << "}\n";
-  return static_cast<bool>(out);
+  return file.commit();
 }
 
 }  // namespace ag::harness

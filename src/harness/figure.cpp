@@ -1,7 +1,8 @@
 #include "harness/figure.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "harness/atomic_io.h"
 
 namespace ag::harness {
 
@@ -29,14 +30,17 @@ void print_figure(const std::string& title, const std::string& x_label,
 }
 
 bool write_figure_csv(const std::string& path, const std::vector<FigureSeries>& series) {
-  std::ofstream out{path};
-  if (!out) return false;
+  // Temp-file + rename (AtomicFile): an interrupted bench never leaves a
+  // truncated CSV behind.
+  AtomicFile file{path};
+  if (!file.ok()) return false;
+  std::ostream& out = file.stream();
   out << "x";
   for (const FigureSeries& s : series) {
     out << ',' << s.name << "_avg," << s.name << "_min," << s.name << "_max";
   }
   out << '\n';
-  if (series.empty()) return true;
+  if (series.empty()) return file.commit();
   const std::size_t rows = series.front().points.size();
   for (std::size_t i = 0; i < rows; ++i) {
     out << series.front().points[i].x;
@@ -48,7 +52,7 @@ bool write_figure_csv(const std::string& path, const std::vector<FigureSeries>& 
     }
     out << '\n';
   }
-  return static_cast<bool>(out);
+  return file.commit();
 }
 
 }  // namespace ag::harness

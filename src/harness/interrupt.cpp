@@ -1,0 +1,35 @@
+#include "harness/interrupt.h"
+
+#include <csignal>
+
+namespace ag::harness {
+
+namespace {
+
+// Written from the signal handler, read from the experiment loops; only
+// sig_atomic_t stores are async-signal-safe.
+volatile std::sig_atomic_t g_signal{0};
+
+extern "C" void ag_on_interrupt(int signo) { g_signal = signo; }
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = ag_on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking waits promptly
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool interrupt_requested() { return g_signal != 0; }
+
+int interrupt_exit_code() {
+  const int signo = g_signal;
+  return signo == 0 ? 1 : 128 + signo;
+}
+
+void clear_interrupt_for_test() { g_signal = 0; }
+
+}  // namespace ag::harness

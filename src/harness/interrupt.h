@@ -1,0 +1,29 @@
+// Cooperative SIGINT/SIGTERM handling for the benches and the sharded
+// driver: the handler only sets a flag; the experiment loops poll it at
+// job boundaries, the shard supervisor polls it in its wait loop (killing
+// live workers and flushing the manifest journal), and the benches exit
+// nonzero instead of dying mid-write. Combined with atomic_io.h this
+// means an interrupted run can never leave a torn BENCH/CSV/shard file.
+#ifndef AG_HARNESS_INTERRUPT_H
+#define AG_HARNESS_INTERRUPT_H
+
+namespace ag::harness {
+
+// Installs the SIGINT/SIGTERM flag-setting handlers. Idempotent; safe to
+// call from every bench main.
+void install_interrupt_handlers();
+
+// True once SIGINT or SIGTERM has been received.
+[[nodiscard]] bool interrupt_requested();
+
+// Conventional exit code for the received signal (128 + signo), or 1 if
+// called without a pending interrupt. Benches return this after an
+// orderly stop.
+[[nodiscard]] int interrupt_exit_code();
+
+// Clears the pending-interrupt flag (tests only).
+void clear_interrupt_for_test();
+
+}  // namespace ag::harness
+
+#endif  // AG_HARNESS_INTERRUPT_H

@@ -1,0 +1,689 @@
+#include "harness/shard.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/atomic_io.h"
+#include "sim/env.h"
+#include "sim/event_category.h"
+
+namespace ag::harness {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// number formatting: exact round-trips
+// ---------------------------------------------------------------------------
+
+// 17 significant digits reproduce any IEEE-754 double exactly through
+// strtod, so the merged sharded run aggregates bit-identically to the
+// serial one.
+std::string f64_text(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// minimal JSON value + recursive-descent parser (shard checkpoints and
+// nothing else — trusted shape, but must reject truncation/corruption
+// cleanly so a torn file reads as "not done", never as bad data)
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type : std::uint8_t { null, boolean, number, string, array, object };
+  Type type{Type::null};
+  bool b{false};
+  std::string text;  // number literal (verbatim) or decoded string
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& src) : s_{src} {}
+
+  [[nodiscard]] std::optional<Json> parse(std::string* error) {
+    std::optional<Json> v = value(0);
+    if (!v) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) *error = "trailing garbage at byte " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool fail(const std::string& what) {
+    if (error_.empty()) error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  [[nodiscard]] bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return fail(std::string{"expected "} + word);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Json> value(int depth) {
+    if (depth > 64) {
+      (void)fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      (void)fail("unexpected end of input");
+      return std::nullopt;
+    }
+    Json out;
+    const char c = s_[pos_];
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return out;
+    }
+    if (c == 't' || c == 'f') {
+      out.type = Json::Type::boolean;
+      out.b = c == 't';
+      if (!literal(c == 't' ? "true" : "false")) return std::nullopt;
+      return out;
+    }
+    if (c == '"') {
+      out.type = Json::Type::string;
+      if (!string_into(out.text)) return std::nullopt;
+      return out;
+    }
+    if (c == '[') {
+      out.type = Json::Type::array;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return out;
+      }
+      while (true) {
+        std::optional<Json> item = value(depth + 1);
+        if (!item) return std::nullopt;
+        out.items.push_back(std::move(*item));
+        skip_ws();
+        if (pos_ >= s_.size()) {
+          (void)fail("unterminated array");
+          return std::nullopt;
+        }
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return out;
+        }
+        (void)fail("expected , or ] in array");
+        return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      out.type = Json::Type::object;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return out;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (pos_ >= s_.size() || s_[pos_] != '"' || !string_into(key)) {
+          (void)fail("expected object key");
+          return std::nullopt;
+        }
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') {
+          (void)fail("expected : after key");
+          return std::nullopt;
+        }
+        ++pos_;
+        std::optional<Json> item = value(depth + 1);
+        if (!item) return std::nullopt;
+        out.fields.emplace_back(std::move(key), std::move(*item));
+        skip_ws();
+        if (pos_ >= s_.size()) {
+          (void)fail("unterminated object");
+          return std::nullopt;
+        }
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return out;
+        }
+        (void)fail("expected , or } in object");
+        return std::nullopt;
+      }
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      out.type = Json::Type::number;
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::strchr("+-.eE", s_[pos_]) != nullptr ||
+              (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+        ++pos_;
+      }
+      out.text = s_.substr(start, pos_ - start);
+      return out;
+    }
+    (void)fail(std::string{"unexpected character '"} + c + "'");
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool string_into(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Only control characters are emitted this way by our writer.
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// RunResult <-> JSON via one shared field list
+// ---------------------------------------------------------------------------
+
+// Serializer visitor: appends `"name": value` pairs into an object body.
+class FieldWriter {
+ public:
+  void u64(const char* name, const std::uint64_t& v) {
+    sep();
+    out_ += '"';
+    out_ += name;
+    out_ += "\": ";
+    out_ += std::to_string(v);
+  }
+  void f64(const char* name, const double& v) {
+    sep();
+    out_ += '"';
+    out_ += name;
+    out_ += "\": ";
+    out_ += f64_text(v);
+  }
+  void boolean(const char* name, const bool& v) {
+    sep();
+    out_ += '"';
+    out_ += name;
+    out_ += "\": ";
+    out_ += v ? "true" : "false";
+  }
+  void u64_array(const char* name, const std::uint64_t* v, std::size_t n) {
+    sep();
+    out_ += '"';
+    out_ += name;
+    out_ += "\": [";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0) out_ += ',';
+      out_ += std::to_string(v[i]);
+    }
+    out_ += ']';
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void sep() {
+    if (!out_.empty()) out_ += ", ";
+  }
+  std::string out_;
+};
+
+// Deserializer visitor over a parsed object: every field is mandatory,
+// so a checkpoint from a different schema version reads as corrupt (and
+// the shard simply re-runs) instead of merging half-garbage.
+class FieldReader {
+ public:
+  explicit FieldReader(const Json& obj) : obj_{obj} {}
+
+  void u64(const char* name, std::uint64_t& v) {
+    const Json* j = need(name, Json::Type::number);
+    if (j == nullptr) return;
+    errno = 0;
+    char* end = nullptr;
+    v = std::strtoull(j->text.c_str(), &end, 10);
+    if (errno != 0 || end == j->text.c_str() || *end != '\0') {
+      fail(std::string{"bad u64 in "} + name);
+    }
+  }
+  void f64(const char* name, double& v) {
+    const Json* j = need(name, Json::Type::number);
+    if (j == nullptr) return;
+    char* end = nullptr;
+    v = std::strtod(j->text.c_str(), &end);
+    if (end == j->text.c_str() || *end != '\0') {
+      fail(std::string{"bad double in "} + name);
+    }
+  }
+  void boolean(const char* name, bool& v) {
+    const Json* j = need(name, Json::Type::boolean);
+    if (j != nullptr) v = j->b;
+  }
+  void u64_array(const char* name, std::uint64_t* v, std::size_t n) {
+    const Json* j = need(name, Json::Type::array);
+    if (j == nullptr) return;
+    if (j->items.size() != n) {
+      fail(std::string{name} + " length " + std::to_string(j->items.size()) +
+           " != " + std::to_string(n));
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (j->items[i].type != Json::Type::number) {
+        fail(std::string{"non-number in "} + name);
+        return;
+      }
+      errno = 0;
+      char* end = nullptr;
+      v[i] = std::strtoull(j->items[i].text.c_str(), &end, 10);
+      if (errno != 0 || end == j->items[i].text.c_str() || *end != '\0') {
+        fail(std::string{"bad u64 in "} + name);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  const Json* need(const char* name, Json::Type type) {
+    if (!error_.empty()) return nullptr;
+    const Json* j = obj_.find(name);
+    if (j == nullptr) {
+      fail(std::string{"missing field "} + name);
+      return nullptr;
+    }
+    if (j->type != type) {
+      fail(std::string{"wrong type for "} + name);
+      return nullptr;
+    }
+    return j;
+  }
+  void fail(std::string what) {
+    if (error_.empty()) error_ = std::move(what);
+  }
+
+  const Json& obj_;
+  std::string error_;
+};
+
+// The one field list both directions share. Adding a NetworkTotals
+// counter? Add one line here and the checkpoint round-trips it.
+template <typename V, typename Totals>
+void visit_totals(Totals& t, V& v) {
+  v.u64("channel_transmissions", t.channel_transmissions);
+  v.u64("phy_deliveries", t.phy_deliveries);
+  v.u64("phy_suppressed_down", t.phy_suppressed_down);
+  v.u64("phy_suppressed_partition", t.phy_suppressed_partition);
+  v.u64("sim_events", t.sim_events);
+  v.u64_array("ev_scheduled", t.ev_scheduled, sim::kEventCategoryCount);
+  v.u64_array("ev_executed", t.ev_executed, sim::kEventCategoryCount);
+  v.u64("mac_backoff_slots_credited", t.mac_backoff_slots_credited);
+  v.u64("mac_difs_elided", t.mac_difs_elided);
+  v.u64("phy_rx_elided", t.phy_rx_elided);
+  v.u64("phy_rx_coalesced", t.phy_rx_coalesced);
+  v.u64("table_probes", t.table_probes);
+  v.u64("pool_hits", t.pool_hits);
+  v.u64("pool_misses", t.pool_misses);
+  v.u64("mac_unicast", t.mac_unicast);
+  v.u64("mac_broadcast", t.mac_broadcast);
+  v.u64("mac_collisions", t.mac_collisions);
+  v.u64("mac_queue_drops", t.mac_queue_drops);
+  v.u64("rreq_originated", t.rreq_originated);
+  v.u64("rerr_sent", t.rerr_sent);
+  v.u64("grph_sent", t.grph_sent);
+  v.u64("mact_sent", t.mact_sent);
+  v.u64("data_forwarded", t.data_forwarded);
+  v.u64("gossip_walks", t.gossip_walks);
+  v.u64("gossip_replies", t.gossip_replies);
+  v.u64("nm_updates", t.nm_updates);
+  v.u64("repairs_started", t.repairs_started);
+  v.u64("partitions", t.partitions);
+  v.u64("leaders_elected", t.leaders_elected);
+  v.u64("custody_stored", t.custody_stored);
+  v.u64("custody_evicted_ttl", t.custody_evicted_ttl);
+  v.u64("custody_evicted_capacity", t.custody_evicted_capacity);
+  v.u64("custody_offers", t.custody_offers);
+  v.u64("custody_offers_failed", t.custody_offers_failed);
+  v.u64("custody_accepted", t.custody_accepted);
+  v.u64("custody_duplicates", t.custody_duplicates);
+  v.u64("adversary_nodes", t.adversary_nodes);
+  v.u64("adversary_absorbed", t.adversary_absorbed);
+  v.u64("adversary_poisoned", t.adversary_poisoned);
+  v.u64("trust_isolations", t.trust_isolations);
+  v.u64("trust_false_positives", t.trust_false_positives);
+  v.u64("trust_filtered", t.trust_filtered);
+  v.f64("trust_detection_latency_s", t.trust_detection_latency_s);
+  v.boolean("adversary_active", t.adversary_active);
+  v.u64("sessions", t.sessions.sessions);
+  v.u64("users_served", t.sessions.users_served);
+  v.u64("user_eligible", t.sessions.user_eligible);
+  v.boolean("dtn_active", t.dtn_active);
+}
+
+template <typename V, typename Faults>
+void visit_faults(Faults& f, V& v) {
+  v.u64("crashes", f.crashes);
+  v.u64("reboots", f.reboots);
+  v.u64("leaves", f.leaves);
+  v.u64("joins", f.joins);
+  v.u64("partitions", f.partitions);
+  v.u64("heals", f.heals);
+  v.f64("node_down_s", f.node_down_s);
+  v.f64("partitioned_s", f.partitioned_s);
+}
+
+std::string member_json(const stats::MemberResult& m) {
+  FieldWriter w;
+  std::uint64_t node = m.node.value();
+  std::uint64_t received = m.received;
+  std::uint64_t via_gossip = m.via_gossip;
+  std::uint64_t replies_received = m.replies_received;
+  std::uint64_t replies_useful = m.replies_useful;
+  std::uint64_t eligible = m.eligible;
+  double mean_latency_s = m.mean_latency_s;
+  w.u64("node", node);
+  w.u64("received", received);
+  w.u64("via_gossip", via_gossip);
+  w.u64("replies_received", replies_received);
+  w.u64("replies_useful", replies_useful);
+  w.u64("eligible", eligible);
+  w.f64("mean_latency_s", mean_latency_s);
+  return "{" + w.take() + "}";
+}
+
+bool member_from_json(const Json& obj, stats::MemberResult& m, std::string& error) {
+  FieldReader r{obj};
+  std::uint64_t node = 0;
+  double mean_latency_s = 0.0;
+  r.u64("node", node);
+  r.u64("received", m.received);
+  r.u64("via_gossip", m.via_gossip);
+  r.u64("replies_received", m.replies_received);
+  r.u64("replies_useful", m.replies_useful);
+  r.u64("eligible", m.eligible);
+  r.f64("mean_latency_s", mean_latency_s);
+  if (!r.ok()) {
+    error = r.error();
+    return false;
+  }
+  m.node = net::NodeId{static_cast<std::uint32_t>(node)};
+  m.mean_latency_s = mean_latency_s;
+  return true;
+}
+
+}  // namespace
+
+std::string shard_file_name(std::size_t index) {
+  return "shard_" + std::to_string(index) + ".json";
+}
+
+bool write_shard_json(const std::string& path, const std::string& experiment,
+                      std::size_t index, const CellId& cell,
+                      const stats::RunResult& result) {
+  std::ostringstream body;
+  body << "{\n\"format\": 1,\n";
+  body << "\"experiment\": \"" << experiment << "\",\n";
+  body << "\"shard\": " << index << ",\n";
+  body << "\"protocol\": \"" << cell.protocol << "\",\n";
+  body << "\"x\": " << f64_text(cell.x) << ",\n";
+  body << "\"seed\": " << cell.seed << ",\n";
+  {
+    FieldWriter w;
+    std::uint64_t seed = result.seed;
+    std::uint64_t packets_sent = result.packets_sent;
+    w.u64("seed", seed);
+    w.u64("packets_sent", packets_sent);
+    body << "\"result\": {" << w.take() << ",\n";
+  }
+  body << "\"members\": [";
+  for (std::size_t i = 0; i < result.members.size(); ++i) {
+    body << (i > 0 ? ",\n" : "\n") << member_json(result.members[i]);
+  }
+  body << "],\n";
+  {
+    FieldWriter w;
+    // visit_totals only mutates through the reader visitor; the writer
+    // takes const refs, so the const_cast-free trick is a non-const
+    // local copy.
+    stats::NetworkTotals totals = result.totals;
+    visit_totals(totals, w);
+    body << "\"totals\": {" << w.take() << "},\n";
+  }
+  {
+    FieldWriter w;
+    stats::FaultStats faults = result.faults;
+    visit_faults(faults, w);
+    body << "\"faults\": {" << w.take() << "}\n";
+  }
+  body << "}\n}\n";
+  const std::string text = body.str();
+  return write_file_atomic(path, [&text](std::ostream& out) { out << text; });
+}
+
+std::optional<stats::RunResult> read_shard_json(const std::string& path,
+                                                const std::string& experiment,
+                                                std::size_t index,
+                                                std::string* error) {
+  const auto fail = [error](std::string what) -> std::optional<stats::RunResult> {
+    if (error != nullptr) *error = std::move(what);
+    return std::nullopt;
+  };
+  std::ifstream in{path};
+  if (!in) return fail("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::string parse_error;
+  JsonParser parser{text};
+  std::optional<Json> root = parser.parse(&parse_error);
+  if (!root || root->type != Json::Type::object) {
+    return fail("parse error in " + path + ": " +
+                (parse_error.empty() ? "not an object" : parse_error));
+  }
+
+  // Identity checks: the file must belong to this sweep and this cell.
+  {
+    FieldReader r{*root};
+    std::uint64_t format = 0;
+    std::uint64_t shard = 0;
+    r.u64("format", format);
+    r.u64("shard", shard);
+    if (!r.ok()) return fail(path + ": " + r.error());
+    if (format != 1) return fail(path + ": unknown format " + std::to_string(format));
+    if (shard != index) {
+      return fail(path + ": records shard " + std::to_string(shard) +
+                  ", expected " + std::to_string(index));
+    }
+    const Json* exp = root->find("experiment");
+    if (exp == nullptr || exp->type != Json::Type::string || exp->text != experiment) {
+      return fail(path + ": experiment mismatch (want \"" + experiment + "\")");
+    }
+  }
+
+  const Json* res = root->find("result");
+  if (res == nullptr || res->type != Json::Type::object) {
+    return fail(path + ": missing result object");
+  }
+  stats::RunResult out;
+  {
+    FieldReader r{*res};
+    std::uint64_t seed = 0;
+    std::uint64_t packets_sent = 0;
+    r.u64("seed", seed);
+    r.u64("packets_sent", packets_sent);
+    if (!r.ok()) return fail(path + ": " + r.error());
+    out.seed = seed;
+    out.packets_sent = static_cast<std::uint32_t>(packets_sent);
+  }
+  const Json* members = res->find("members");
+  if (members == nullptr || members->type != Json::Type::array) {
+    return fail(path + ": missing members array");
+  }
+  out.members.reserve(members->items.size());
+  for (const Json& item : members->items) {
+    if (item.type != Json::Type::object) return fail(path + ": non-object member");
+    stats::MemberResult m;
+    std::string member_error;
+    if (!member_from_json(item, m, member_error)) {
+      return fail(path + ": member: " + member_error);
+    }
+    out.members.push_back(m);
+  }
+  const Json* totals = res->find("totals");
+  if (totals == nullptr || totals->type != Json::Type::object) {
+    return fail(path + ": missing totals object");
+  }
+  {
+    FieldReader r{*totals};
+    visit_totals(out.totals, r);
+    if (!r.ok()) return fail(path + ": totals: " + r.error());
+  }
+  const Json* faults = res->find("faults");
+  if (faults == nullptr || faults->type != Json::Type::object) {
+    return fail(path + ": missing faults object");
+  }
+  {
+    FieldReader r{*faults};
+    visit_faults(out.faults, r);
+    if (!r.ok()) return fail(path + ": faults: " + r.error());
+  }
+  return out;
+}
+
+ShardFault shard_fault_from_env() {
+  const char* raw = sim::env_cstr("AG_SHARD_FAULT");
+  ShardFault fault;
+  if (raw == nullptr || *raw == '\0') return fault;
+  const char* at = std::strchr(raw, '@');
+  const auto warn = [raw] {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid AG_SHARD_FAULT=\"%s\" (want "
+                 "crash|hang|corrupt@<shard>[x<times>])\n",
+                 raw);
+    return ShardFault{};
+  };
+  if (at == nullptr) return warn();
+  const std::string mode{raw, static_cast<std::size_t>(at - raw)};
+  if (mode == "crash") fault.mode = ShardFault::Mode::crash;
+  else if (mode == "hang") fault.mode = ShardFault::Mode::hang;
+  else if (mode == "corrupt") fault.mode = ShardFault::Mode::corrupt;
+  else return warn();
+  const char* p = at + 1;
+  if (*p < '0' || *p > '9') return warn();
+  char* end = nullptr;
+  errno = 0;
+  fault.shard = static_cast<std::size_t>(std::strtoull(p, &end, 10));
+  if (errno != 0 || end == p) return warn();
+  if (*end == 'x') {
+    const char* times = end + 1;
+    if (*times < '0' || *times > '9') return warn();
+    errno = 0;
+    const unsigned long long n = std::strtoull(times, &end, 10);
+    if (errno != 0 || *end != '\0' || n == 0 || n > 0xFFFFFFFFull) return warn();
+    fault.times = static_cast<std::uint32_t>(n);
+  } else if (*end != '\0') {
+    return warn();
+  }
+  return fault;
+}
+
+void maybe_inject_shard_fault(const ShardFault& fault, std::size_t index,
+                              std::uint32_t attempt, const std::string& shard_path) {
+  if (!fault.matches(index, attempt)) return;
+  switch (fault.mode) {
+    case ShardFault::Mode::crash:
+      std::fprintf(stderr, "[shard %zu] AG_SHARD_FAULT: crashing (attempt %u)\n",
+                   index, attempt);
+      std::_Exit(134);
+    case ShardFault::Mode::hang:
+      std::fprintf(stderr, "[shard %zu] AG_SHARD_FAULT: hanging (attempt %u)\n",
+                   index, attempt);
+      // Sleep until the supervisor's timeout kills us; pause() wakes only
+      // on a signal, and SIGKILL needs no cooperation.
+      while (true) pause();
+    case ShardFault::Mode::corrupt: {
+      std::fprintf(stderr,
+                   "[shard %zu] AG_SHARD_FAULT: writing torn output (attempt %u)\n",
+                   index, attempt);
+      // Deliberately bypass the atomic writer: this simulates the torn
+      // file a crash mid-write would have produced without it.
+      std::ofstream torn{shard_path, std::ios::trunc};
+      torn << "{\"format\": 1, \"experiment\": \"torn";
+      torn.flush();
+      std::_Exit(0);
+    }
+    case ShardFault::Mode::none: break;
+  }
+}
+
+}  // namespace ag::harness

@@ -1,0 +1,94 @@
+// Crash-resumable multi-process experiment driver: the supervisor half
+// of the sharded sweep (the worker half is `--shard=` handled in
+// bench/figure_common.h via ExperimentBuilder::run_cell + shard.h).
+//
+// Lifecycle of one shard (one (protocol, x, seed) cell):
+//
+//   pending ──spawn──► running ──exit 0 + parseable file──► done
+//      ▲                  │
+//      │                  ├─ nonzero exit / killed ─┐
+//      │                  ├─ wall-clock timeout ────┤ attempt failed
+//      │                  └─ torn/corrupt output ───┘
+//      │                                  │
+//      └── backoff (base · 2^attempt) ◄───┤ attempts left
+//                                         └─ retries exhausted ──► failed
+//                                            (failed_shards entry in the
+//                                             merged BENCH JSON; the
+//                                             sweep never aborts)
+//
+// Every completed shard is an atomically-written checkpoint
+// (`shard_<i>.json`, temp + rename) plus an append-only line in
+// `manifest.jsonl`; `--resume` re-parses existing checkpoints and only
+// missing/failed cells re-run. Merging reproduces the in-process serial
+// run byte-identically whenever every cell completed (see shard.h).
+#ifndef AG_HARNESS_SHARD_DRIVER_H
+#define AG_HARNESS_SHARD_DRIVER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment_builder.h"
+#include "stats/run_result.h"
+
+namespace ag::harness {
+
+struct ShardDriverOptions {
+  // Worker binary (normally argv[0]: the bench re-invokes itself) and
+  // the bench args to forward so the worker rebuilds the same sweep
+  // (e.g. --smoke, --protocols=...; shard-control flags are stripped by
+  // the caller). The driver appends --shard=<i> --shard-dir=<dir>
+  // --shard-attempt=<n>.
+  std::string exe;
+  std::vector<std::string> worker_args;
+  // Scratch directory for checkpoints + manifest (created if missing).
+  std::string shard_dir;
+  // Concurrent worker processes. 0 = AG_SHARDS env, else hardware
+  // concurrency.
+  unsigned concurrency{0};
+  // Per-shard wall-clock timeout in seconds before SIGKILL. 0 =
+  // AG_SHARD_TIMEOUT env, else 600.
+  std::uint32_t timeout_s{0};
+  // Attempts per shard before degrading to a failed_shards entry. 0 =
+  // AG_SHARD_RETRIES env, else 3.
+  std::uint32_t max_attempts{0};
+  // Exponential-backoff base in milliseconds (delay before attempt n+1 is
+  // base * 2^(n-1), capped at 30 s). 0 = AG_SHARD_BACKOFF_MS env, else 250.
+  std::uint32_t backoff_ms{0};
+  // Reuse checkpoints already present in shard_dir (skip completed
+  // cells). A fresh run (resume=false) clears stale checkpoints first.
+  bool resume{false};
+  // Merge-only: never launch workers; missing cells degrade to
+  // failed_shards entries.
+  bool merge_only{false};
+  // Suppress per-shard progress lines on stdout (tests).
+  bool quiet{false};
+};
+
+struct ShardRunReport {
+  // Per-cell results in cell-index order; nullopt = shard failed (or
+  // interrupted before it ran). Feed to ExperimentBuilder::assemble.
+  std::vector<std::optional<stats::RunResult>> results;
+  // Counts + failed entries for the merged BENCH JSON (section emitted
+  // only when `failed` is non-empty — see ExperimentResult::write_json).
+  ShardingInfo sharding;
+  std::uint64_t reused{0};    // checkpoints satisfied from a prior run
+  std::uint64_t launched{0};  // worker processes actually spawned
+  // SIGINT/SIGTERM arrived: live workers were killed, the manifest was
+  // flushed, results are partial — the caller must exit nonzero without
+  // writing merged outputs.
+  bool interrupted{false};
+};
+
+// Decomposes `builder`'s grid into one shard per cell and drives worker
+// subprocesses to completion (timeouts, bounded retry with exponential
+// backoff, crash/corrupt detection, resume, graceful degradation).
+// Throws std::runtime_error only for environment-level failures (shard
+// directory not creatable, fork failing outright).
+[[nodiscard]] ShardRunReport run_shards(const ExperimentBuilder& builder,
+                                        const ShardDriverOptions& options);
+
+}  // namespace ag::harness
+
+#endif  // AG_HARNESS_SHARD_DRIVER_H

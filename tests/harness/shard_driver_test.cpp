@@ -1,0 +1,375 @@
+// Self-tests for the crash-resumable sharded driver: checkpoint
+// round-trip exactness, atomic-write semantics, the AG_SHARD_FAULT
+// grammar, and — driving the real shard_probe worker binary through
+// fork/exec — every recovery path: crash + retry, hang + timeout,
+// corrupt-output detection, retry exhaustion degrading to failed_shards,
+// resume-after-crash, merge-only, and interrupt. The headline invariant
+// throughout: a sharded run that completes merges byte-identically to
+// the in-process serial run.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "harness/experiment_builder.h"
+#include "harness/atomic_io.h"
+#include "harness/interrupt.h"
+#include "harness/shard.h"
+#include "harness/shard_driver.h"
+#include "harness/shard_probe_config.h"
+
+namespace fs = std::filesystem;
+using namespace ag;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ShardDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ag_shard_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ::unsetenv("AG_SHARD_FAULT");
+    ::unsetenv("AG_SHARDS");
+    ::unsetenv("AG_SHARD_TIMEOUT");
+    ::unsetenv("AG_SHARD_RETRIES");
+    ::unsetenv("AG_SHARD_BACKOFF_MS");
+    harness::clear_interrupt_for_test();
+  }
+
+  void TearDown() override {
+    ::unsetenv("AG_SHARD_FAULT");
+    harness::clear_interrupt_for_test();
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] std::string path_in(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Driver options every subprocess test shares: the probe worker binary,
+  // fast backoff, quiet output.
+  [[nodiscard]] harness::ShardDriverOptions probe_options() const {
+    harness::ShardDriverOptions opts;
+    opts.exe = AG_SHARD_PROBE_EXE;
+    opts.shard_dir = path_in("shards");
+    opts.concurrency = 2;
+    opts.timeout_s = 120;
+    opts.max_attempts = 3;
+    opts.backoff_ms = 1;
+    opts.quiet = true;
+    return opts;
+  }
+
+  // The serial reference: the in-process run every merged sharded run
+  // must reproduce byte-for-byte.
+  [[nodiscard]] std::string serial_json() {
+    const harness::ExperimentBuilder builder = tests::make_probe_builder();
+    const harness::ExperimentResult result = builder.run();
+    const std::string path = path_in("serial.json");
+    EXPECT_TRUE(result.write_json(path));
+    return read_file(path);
+  }
+
+  [[nodiscard]] std::string merged_json(const harness::ShardRunReport& report) {
+    const harness::ExperimentBuilder builder = tests::make_probe_builder();
+    const harness::ExperimentResult result =
+        builder.assemble(report.results, report.sharding);
+    const std::string path = path_in("merged.json");
+    EXPECT_TRUE(result.write_json(path));
+    return read_file(path);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ShardDriverTest, CellDecompositionMatchesSlotOrder) {
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  ASSERT_EQ(builder.cell_count(), 4u);  // 2 values x 1 protocol x 2 seeds
+  const harness::CellId c0 = builder.cell_id(0);
+  const harness::CellId c1 = builder.cell_id(1);
+  const harness::CellId c2 = builder.cell_id(2);
+  EXPECT_EQ(c0.protocol, "maodv_gossip");
+  EXPECT_DOUBLE_EQ(c0.x, 60.0);
+  EXPECT_EQ(c0.seed, 1u);
+  EXPECT_EQ(c1.seed, 2u);
+  EXPECT_DOUBLE_EQ(c2.x, 80.0);
+  EXPECT_EQ(c2.seed, 1u);
+}
+
+TEST_F(ShardDriverTest, CheckpointRoundTripIsExact) {
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const stats::RunResult original = builder.run_cell(0);
+
+  const std::string path = path_in("shard_0.json");
+  ASSERT_TRUE(harness::write_shard_json(path, builder.experiment_name(), 0,
+                                        builder.cell_id(0), original));
+  std::string error;
+  const std::optional<stats::RunResult> reread =
+      harness::read_shard_json(path, builder.experiment_name(), 0, &error);
+  ASSERT_TRUE(reread.has_value()) << error;
+
+  // Exactness check without an operator==: re-serialize and byte-compare.
+  const std::string again = path_in("shard_0_again.json");
+  ASSERT_TRUE(harness::write_shard_json(again, builder.experiment_name(), 0,
+                                        builder.cell_id(0), *reread));
+  EXPECT_EQ(read_file(path), read_file(again));
+}
+
+TEST_F(ShardDriverTest, CheckpointRejectsMismatchAndCorruption) {
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const stats::RunResult result = builder.run_cell(0);
+  const std::string path = path_in("shard_0.json");
+  ASSERT_TRUE(harness::write_shard_json(path, builder.experiment_name(), 0,
+                                        builder.cell_id(0), result));
+
+  std::string error;
+  EXPECT_FALSE(harness::read_shard_json(path, builder.experiment_name(), 1, &error)
+                   .has_value());
+  EXPECT_FALSE(harness::read_shard_json(path, "other_experiment", 0, &error)
+                   .has_value());
+  EXPECT_FALSE(harness::read_shard_json(path_in("absent.json"),
+                                        builder.experiment_name(), 0, &error)
+                   .has_value());
+
+  // Truncate mid-file: must read as corrupt, not as a zeroed result.
+  const std::string whole = read_file(path);
+  std::ofstream torn{path, std::ios::trunc | std::ios::binary};
+  torn << whole.substr(0, whole.size() / 2);
+  torn.close();
+  EXPECT_FALSE(harness::read_shard_json(path, builder.experiment_name(), 0, &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ShardDriverTest, AtomicFileCommitsOrLeavesNothing) {
+  const std::string path = path_in("out.txt");
+  ASSERT_TRUE(harness::write_file_atomic(path, [](std::ostream& out) {
+    out << "payload";
+  }));
+  EXPECT_EQ(read_file(path), "payload");
+
+  const std::string dropped = path_in("dropped.txt");
+  {
+    harness::AtomicFile file{dropped};
+    file.stream() << "never visible";
+    // no commit: destructor must remove the temp file
+  }
+  EXPECT_FALSE(fs::exists(dropped));
+  std::size_t residue = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++residue;
+    }
+  }
+  EXPECT_EQ(residue, 0u);
+}
+
+TEST_F(ShardDriverTest, FaultGrammarParsesAndRejects) {
+  ::setenv("AG_SHARD_FAULT", "crash@3", 1);
+  harness::ShardFault fault = harness::shard_fault_from_env();
+  EXPECT_EQ(fault.mode, harness::ShardFault::Mode::crash);
+  EXPECT_EQ(fault.shard, 3u);
+  EXPECT_EQ(fault.times, 1u);
+  EXPECT_TRUE(fault.matches(3, 1));
+  EXPECT_FALSE(fault.matches(3, 2));
+  EXPECT_FALSE(fault.matches(2, 1));
+
+  ::setenv("AG_SHARD_FAULT", "hang@0x99", 1);
+  fault = harness::shard_fault_from_env();
+  EXPECT_EQ(fault.mode, harness::ShardFault::Mode::hang);
+  EXPECT_EQ(fault.times, 99u);
+  EXPECT_TRUE(fault.matches(0, 99));
+  EXPECT_FALSE(fault.matches(0, 100));
+
+  ::setenv("AG_SHARD_FAULT", "corrupt@1x2", 1);
+  fault = harness::shard_fault_from_env();
+  EXPECT_EQ(fault.mode, harness::ShardFault::Mode::corrupt);
+
+  for (const char* bad : {"", "crash", "crash@", "crash@x2", "melt@1",
+                          "crash@1x", "crash@1x0", "crash@-1", "crash@1y2"}) {
+    ::setenv("AG_SHARD_FAULT", bad, 1);
+    EXPECT_EQ(harness::shard_fault_from_env().mode,
+              harness::ShardFault::Mode::none)
+        << "accepted malformed AG_SHARD_FAULT=\"" << bad << "\"";
+  }
+  ::unsetenv("AG_SHARD_FAULT");
+  EXPECT_EQ(harness::shard_fault_from_env().mode, harness::ShardFault::Mode::none);
+}
+
+TEST_F(ShardDriverTest, ShardedRunMergesByteIdenticalToSerial) {
+  const std::string serial = serial_json();
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, probe_options());
+  ASSERT_FALSE(report.interrupted);
+  EXPECT_EQ(report.launched, 4u);
+  EXPECT_EQ(report.reused, 0u);
+  EXPECT_EQ(report.sharding.retried, 0u);
+  ASSERT_TRUE(report.sharding.failed.empty());
+  EXPECT_EQ(merged_json(report), serial);
+  // Healthy runs must not carry a sharding section — that would break
+  // byte-identity with pre-shard BENCH files.
+  EXPECT_EQ(merged_json(report).find("\"sharding\""), std::string::npos);
+}
+
+TEST_F(ShardDriverTest, CrashedShardIsRetriedAndStillMergesClean) {
+  const std::string serial = serial_json();
+  ::setenv("AG_SHARD_FAULT", "crash@1", 1);  // first attempt of shard 1 dies
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, probe_options());
+  ASSERT_FALSE(report.interrupted);
+  EXPECT_EQ(report.sharding.retried, 1u);
+  ASSERT_TRUE(report.sharding.failed.empty());
+  EXPECT_EQ(merged_json(report), serial);
+}
+
+TEST_F(ShardDriverTest, HangingShardIsKilledByTimeoutAndRetried) {
+  const std::string serial = serial_json();
+  ::setenv("AG_SHARD_FAULT", "hang@2", 1);
+  harness::ShardDriverOptions opts = probe_options();
+  opts.timeout_s = 1;
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, opts);
+  ASSERT_FALSE(report.interrupted);
+  EXPECT_GE(report.sharding.retried, 1u);
+  ASSERT_TRUE(report.sharding.failed.empty());
+  EXPECT_EQ(merged_json(report), serial);
+}
+
+TEST_F(ShardDriverTest, CorruptOutputIsDetectedAndRetried) {
+  const std::string serial = serial_json();
+  ::setenv("AG_SHARD_FAULT", "corrupt@0", 1);
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, probe_options());
+  ASSERT_FALSE(report.interrupted);
+  EXPECT_EQ(report.sharding.retried, 1u);
+  ASSERT_TRUE(report.sharding.failed.empty());
+  EXPECT_EQ(merged_json(report), serial);
+}
+
+TEST_F(ShardDriverTest, RetryExhaustionDegradesToFailedShards) {
+  ::setenv("AG_SHARD_FAULT", "crash@1x99", 1);  // every attempt of shard 1 dies
+  harness::ShardDriverOptions opts = probe_options();
+  opts.max_attempts = 2;
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, opts);
+  ASSERT_FALSE(report.interrupted);
+  ASSERT_EQ(report.sharding.failed.size(), 1u);
+  EXPECT_EQ(report.sharding.failed[0].shard, 1u);
+  EXPECT_EQ(report.sharding.failed[0].attempts, 2u);
+  EXPECT_EQ(report.sharding.failed[0].cell.seed, 2u);
+  EXPECT_FALSE(report.results[1].has_value());
+  ASSERT_TRUE(report.results[0].has_value());
+
+  // The sweep degrades instead of aborting: the merged JSON still has
+  // every point, plus a failed_shards section naming the lost cell.
+  const std::string merged = merged_json(report);
+  EXPECT_NE(merged.find("\"failed_shards\""), std::string::npos);
+  EXPECT_NE(merged.find("\"sharding\""), std::string::npos);
+  EXPECT_NE(merged.find("\"series\""), std::string::npos);
+}
+
+TEST_F(ShardDriverTest, ResumeAfterCrashReusesCheckpointsAndMergesClean) {
+  const std::string serial = serial_json();
+  // Run 1: shard 2 fails every attempt — three checkpoints land, one hole.
+  ::setenv("AG_SHARD_FAULT", "crash@2x99", 1);
+  harness::ShardDriverOptions opts = probe_options();
+  opts.max_attempts = 1;
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport first = run_shards(builder, opts);
+  ASSERT_EQ(first.sharding.failed.size(), 1u);
+
+  // Run 2: fault gone, --resume. Only the missing cell re-runs.
+  ::unsetenv("AG_SHARD_FAULT");
+  opts = probe_options();
+  opts.resume = true;
+  const harness::ShardRunReport second = run_shards(builder, opts);
+  ASSERT_FALSE(second.interrupted);
+  EXPECT_EQ(second.reused, 3u);
+  EXPECT_EQ(second.launched, 1u);
+  ASSERT_TRUE(second.sharding.failed.empty());
+  EXPECT_EQ(merged_json(second), serial);
+}
+
+TEST_F(ShardDriverTest, MergeOnlyDegradesMissingCells) {
+  harness::ShardDriverOptions opts = probe_options();
+  opts.merge_only = true;
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, opts);
+  ASSERT_FALSE(report.interrupted);
+  EXPECT_EQ(report.launched, 0u);
+  EXPECT_EQ(report.reused, 0u);
+  EXPECT_EQ(report.sharding.failed.size(), 4u);
+}
+
+TEST_F(ShardDriverTest, FreshRunClearsStaleCheckpoints) {
+  // A checkpoint from some other sweep must not leak into a fresh run.
+  fs::create_directories(path_in("shards"));
+  std::ofstream stale{path_in("shards") + "/shard_0.json"};
+  stale << "{\"format\": 1, \"experiment\": \"other\"}";
+  stale.close();
+  const std::string serial = serial_json();
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, probe_options());
+  EXPECT_EQ(report.reused, 0u);
+  EXPECT_EQ(report.launched, 4u);
+  EXPECT_EQ(merged_json(report), serial);
+}
+
+TEST_F(ShardDriverTest, InterruptStopsDriverWithoutResults) {
+  harness::install_interrupt_handlers();
+  ::raise(SIGTERM);
+  ASSERT_TRUE(harness::interrupt_requested());
+  const harness::ExperimentBuilder builder = tests::make_probe_builder();
+  const harness::ShardRunReport report = run_shards(builder, probe_options());
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.launched, 0u);
+  EXPECT_EQ(harness::interrupt_exit_code(), 128 + SIGTERM);
+  harness::clear_interrupt_for_test();
+}
+
+TEST_F(ShardDriverTest, ProbeBinaryEndToEndThroughItsOwnCli) {
+  const std::string serial = serial_json();
+  // Drive the probe exactly like a user: supervisor CLI with an injected
+  // crash, then --resume, asserting the merged file matches serial bytes.
+  const std::string cd = "cd '" + dir_.string() + "' && ";
+  const std::string exe = "'" AG_SHARD_PROBE_EXE "'";
+  int rc = std::system((cd + "AG_SHARD_FAULT=crash@0x99 AG_SHARD_RETRIES=2 "
+                        "AG_SHARD_BACKOFF_MS=1 " +
+                        exe + " --shards=2 > probe1.log 2>&1")
+                           .c_str());
+  ASSERT_EQ(rc, 0);  // degrades gracefully, still exits 0 with outputs
+  std::string merged = read_file((dir_ / "BENCH_shard_probe.json").string());
+  EXPECT_NE(merged.find("\"failed_shards\""), std::string::npos);
+
+  rc = std::system((cd + exe + " --resume > probe2.log 2>&1").c_str());
+  ASSERT_EQ(rc, 0);
+  merged = read_file((dir_ / "BENCH_shard_probe.json").string());
+  EXPECT_EQ(merged, serial);
+
+  // The manifest journal recorded the whole story.
+  const std::string manifest =
+      read_file((dir_ / "shards_shard_probe" / "manifest.jsonl").string());
+  EXPECT_NE(manifest.find("\"event\": \"plan\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"event\": \"failed\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"event\": \"reused\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"event\": \"done\""), std::string::npos);
+}
+
+}  // namespace

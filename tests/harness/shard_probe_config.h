@@ -1,0 +1,30 @@
+// The sweep the shard_probe worker binary and shard_driver_test share:
+// both sides must build the identical ExperimentBuilder grid (same
+// experiment name, cells, seeds) or checkpoint verification would reject
+// every shard. Deliberately tiny — 12 nodes, 30 s runs, 2 values x 1
+// protocol x 2 seeds = 4 cells — so the full fault-injection matrix
+// (crash, hang, corrupt, resume, byte-identity) stays test-suite fast.
+#ifndef AG_TESTS_HARNESS_SHARD_PROBE_CONFIG_H
+#define AG_TESTS_HARNESS_SHARD_PROBE_CONFIG_H
+
+#include "harness/experiment_builder.h"
+#include "harness/scenario.h"
+
+namespace ag::tests {
+
+inline harness::ExperimentBuilder make_probe_builder() {
+  harness::ScenarioConfig base;
+  base.with_nodes(12).with_max_speed(1.0);
+  base.duration = sim::SimTime::seconds(30.0);
+  base.workload.start = sim::SimTime::seconds(5.0);
+  base.workload.end = sim::SimTime::seconds(25.0);
+  return harness::Experiment::sweep("range_m", {60.0, 80.0})
+      .base(base)
+      .protocols({harness::Protocol::maodv_gossip})
+      .seeds(2)
+      .name("shard_probe");
+}
+
+}  // namespace ag::tests
+
+#endif  // AG_TESTS_HARNESS_SHARD_PROBE_CONFIG_H

@@ -1,0 +1,14 @@
+// Real worker binary for the sharded-driver self-tests: speaks the exact
+// shard CLI the figure benches do (worker --shard=, supervisor --shards,
+// --resume, --merge) over the tiny shared probe sweep, so the tests
+// exercise the same finish_figure path production benches use.
+#include "figure_common.h"
+#include "harness/shard_probe_config.h"
+
+int main(int argc, char** argv) {
+  const ag::harness::ExperimentBuilder builder = ag::tests::make_probe_builder();
+  return ag::bench::finish_figure(builder, ag::bench::parse_shard_cli(argc, argv),
+                                  argv[0], "Shard probe", "range_m",
+                                  "shard_probe.csv", "BENCH_shard_probe.json",
+                                  /*seeds=*/2);
+}
